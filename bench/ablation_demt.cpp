@@ -1,0 +1,139 @@
+/// Ablation bench (not in the paper): measures the contribution of each
+/// DEMT design choice the paper motivates qualitatively — small-task
+/// merging, the compaction stages (none / pull-forward / list), the shuffle
+/// count, and Smith ordering inside stacks. One block per workload family;
+/// values are ratio-of-sums against the same lower bounds as the figures.
+///
+/// Flags: --n (tasks), --m, --runs, --seed, --families a,b,c
+
+#include <iostream>
+#include <map>
+
+#include "dualapprox/cmax_estimator.hpp"
+#include "exp/algorithms.hpp"
+#include "lp/minsum_bound.hpp"
+#include "sched/validator.hpp"
+#include "tasks/time_grid.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/strfmt.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+struct Variant {
+  std::string name;
+  DemtOptions options;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  {
+    Variant v;
+    v.name = "full (paper)";
+    out.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "no merge";
+    v.options.merge_small_tasks = false;
+    out.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "weight-order stacks";
+    v.options.smith_order_stacks = false;
+    out.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "no compaction";
+    v.options.compaction = DemtOptions::Compaction::None;
+    v.options.shuffles = 0;
+    out.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "pull-forward only";
+    v.options.compaction = DemtOptions::Compaction::PullForward;
+    v.options.shuffles = 0;
+    out.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "list, no shuffle";
+    v.options.shuffles = 0;
+    out.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "32 shuffles";
+    v.options.shuffles = 32;
+    out.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "shuffle batch order";
+    v.options.shuffle_batch_order = true;
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  // Two load levels: m >= n (the knapsack rarely rejects, merging is moot)
+  // and n >> m (small-task stacking and batch order decisions bite).
+  const std::vector<int> ns = args.get_int_list("sizes", {150, 400});
+  const int m = static_cast<int>(args.get_int("m", 200));
+  const int runs = static_cast<int>(args.get_int("runs", 10));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20040627));
+
+  std::cout << strfmt(
+      "# DEMT ablation: m=%d, %d runs; cells = ratio-of-sums "
+      "(minsum | cmax)\n\n",
+      m, runs);
+
+  for (int n : ns)
+  for (auto family : all_families()) {
+    std::cout << strfmt("## family %s, n=%d\n",
+                        std::string(family_name(family)).c_str(), n);
+
+    // Shared instances + bounds per run (same across variants).
+    std::vector<Instance> instances;
+    std::vector<double> cmax_lbs, minsum_lbs;
+    Rng rng(seed + static_cast<std::uint64_t>(family) * 7919);
+    for (int r = 0; r < runs; ++r) {
+      instances.push_back(generate_instance(family, n, m, rng));
+      const auto est = estimate_cmax(instances.back());
+      cmax_lbs.push_back(est.lower_bound);
+      const TimeGrid grid(est.estimate, instances.back().tmin());
+      minsum_lbs.push_back(
+          minsum_lower_bound(instances.back(), grid).bound);
+    }
+
+    for (const auto& variant : variants()) {
+      RatioOfSums wc_ratio, cm_ratio;
+      for (int r = 0; r < runs; ++r) {
+        const auto result = demt_schedule(instances[static_cast<std::size_t>(r)],
+                                          variant.options);
+        require_valid(result.schedule,
+                      instances[static_cast<std::size_t>(r)]);
+        wc_ratio.add(result.schedule.weighted_completion_sum(
+                         instances[static_cast<std::size_t>(r)]),
+                     minsum_lbs[static_cast<std::size_t>(r)]);
+        cm_ratio.add(result.schedule.cmax(),
+                     cmax_lbs[static_cast<std::size_t>(r)]);
+      }
+      std::cout << strfmt("  %-22s  minsum %6.3f | cmax %6.3f\n",
+                          variant.name.c_str(), wc_ratio.ratio(),
+                          cm_ratio.ratio());
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+/// Figure 3 reproduction: performance ratios on 200 processors, weakly
+/// parallel tasks (uniform(1,10) sequential times, recurrence X~N(0.1,0.2)).
+/// Expected shape: DEMT is the weakest of the list family here (ratio <= ~2
+/// on both criteria), all list baselines sit near 1.5 on Cmax, Gang is off
+/// the chart on Cmax.
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  moldsched::FigureConfig config;
+  config.title = "Figure 3 - weakly parallel";
+  config.family = moldsched::WorkloadFamily::WeaklyParallel;
+  return moldsched::run_figure_main(argc, argv, config);
+}

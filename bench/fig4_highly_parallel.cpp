@@ -1,0 +1,13 @@
+/// Figure 4 reproduction: performance ratios on 200 processors, highly
+/// parallel tasks (recurrence X~N(0.9,0.2)). Expected shape: DEMT clearly
+/// best on the minsum criterion; Gang good at small n, Sequential good only
+/// at large n; list baselines stable but worse on minsum.
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  moldsched::FigureConfig config;
+  config.title = "Figure 4 - highly parallel";
+  config.family = moldsched::WorkloadFamily::HighlyParallel;
+  return moldsched::run_figure_main(argc, argv, config);
+}

@@ -1,0 +1,13 @@
+/// Figure 5 reproduction: performance ratios on 200 processors, mixed
+/// workload (70% small weakly-parallel N(1,0.5), 30% large highly-parallel
+/// N(10,5)). Expected shape: DEMT stable around 2 on both criteria; SAF
+/// beats DEMT on minsum; the other list orders degrade as n grows.
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  moldsched::FigureConfig config;
+  config.title = "Figure 5 - mixed";
+  config.family = moldsched::WorkloadFamily::Mixed;
+  return moldsched::run_figure_main(argc, argv, config);
+}

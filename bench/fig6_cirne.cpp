@@ -1,0 +1,13 @@
+/// Figure 6 reproduction: performance ratios on 200 processors with the
+/// Cirne–Berman moldable-job model (Downey speedups). Expected shape: DEMT
+/// clearly outperforms every baseline on minsum and is the only algorithm
+/// with a stable ratio across n.
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  moldsched::FigureConfig config;
+  config.title = "Figure 6 - cirne";
+  config.family = moldsched::WorkloadFamily::Cirne;
+  return moldsched::run_figure_main(argc, argv, config);
+}

@@ -1,0 +1,78 @@
+/// Figure 7 reproduction: wall-clock execution time of the DEMT scheduling
+/// call against the number of tasks, on the weakly parallel, Cirne and
+/// highly parallel workloads (m = 200). The paper reports < 2 s at n = 400
+/// on 2004 hardware; the shape (roughly linear growth in n, weakly parallel
+/// slowest because of its larger K) is the reproduction target.
+///
+/// Flags: --sizes, --m, --runs, --seed, --csv as in the figure harnesses.
+
+#include <fstream>
+#include <iostream>
+
+#include "core/demt.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/strfmt.hpp"
+#include "util/timer.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moldsched;
+  const ArgParser args(argc, argv);
+  std::vector<int> sizes = args.get_int_list(
+      "sizes", {25, 50, 100, 150, 200, 250, 300, 350, 400});
+  if (args.has("quick")) sizes = {25, 100, 400};
+  const int m = static_cast<int>(args.get_int("m", 200));
+  const int runs = static_cast<int>(args.get_int("runs", 10));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20040627));
+
+  const std::vector<WorkloadFamily> families = {
+      WorkloadFamily::WeaklyParallel, WorkloadFamily::Cirne,
+      WorkloadFamily::HighlyParallel};
+
+  std::cout << "# Figure 7 - execution time of the DEMT scheduling "
+               "algorithm (seconds)\n";
+  std::cout << strfmt("# m=%d, %d runs per point (mean [min,max])\n\n", m,
+                      runs);
+  std::cout << strfmt("%6s", "n");
+  for (auto family : families) {
+    std::cout << strfmt("  %-26s", std::string(family_name(family)).c_str());
+  }
+  std::cout << '\n';
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (int n : sizes) {
+    std::cout << strfmt("%6d", n);
+    for (auto family : families) {
+      Rng rng(seed + static_cast<std::uint64_t>(n) * 13 +
+              static_cast<std::uint64_t>(family));
+      RunningStats time_s;
+      for (int r = 0; r < runs; ++r) {
+        const Instance instance = generate_instance(family, n, m, rng);
+        WallTimer timer;
+        const auto result = demt_schedule(instance);
+        time_s.add(timer.seconds());
+        (void)result;
+      }
+      std::cout << strfmt("  %8.4f [%7.4f,%7.4f]", time_s.mean(), time_s.min(),
+                          time_s.max());
+      csv_rows.push_back({strfmt("%d", n),
+                          std::string(family_name(family)),
+                          strfmt("%.6f", time_s.mean()),
+                          strfmt("%.6f", time_s.min()),
+                          strfmt("%.6f", time_s.max())});
+    }
+    std::cout << '\n';
+  }
+
+  const std::string csv_path = args.get_string("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    CsvWriter csv(out);
+    csv.header({"n", "family", "mean_s", "min_s", "max_s"});
+    for (const auto& row : csv_rows) csv.row(row);
+    std::cout << "# csv written to " << csv_path << "\n";
+  }
+  return 0;
+}

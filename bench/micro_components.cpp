@@ -1,0 +1,127 @@
+/// Google-benchmark micro costs of the algorithmic components: the
+/// per-batch knapsack, the dual-approximation search, the LP lower bound,
+/// the list scheduler, the generators, and the full DEMT call. These back
+/// the complexity claims (knapsack O(mn), overall O(mnK)) with
+/// measurements.
+
+#include <benchmark/benchmark.h>
+
+#include "core/batching.hpp"
+#include "core/demt.hpp"
+#include "core/knapsack.hpp"
+#include "dualapprox/cmax_estimator.hpp"
+#include "lp/minsum_bound.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace moldsched;
+
+Instance make_instance(int n, int m, WorkloadFamily family, std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_instance(family, n, m, rng);
+}
+
+void BM_Knapsack(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const int m = 200;
+  Rng rng(1);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(KnapsackItem{static_cast<int>(rng.uniform_int(1, 16)),
+                                 rng.uniform(1.0, 10.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_weight_knapsack(items, m));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Knapsack)->Range(25, 400)->Complexity(benchmark::oN);
+
+void BM_GenerateInstance(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generate_instance(WorkloadFamily::Cirne, n, 200, rng));
+  }
+}
+BENCHMARK(BM_GenerateInstance)->Range(25, 400);
+
+void BM_DualApproxSearch(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance =
+      make_instance(n, 200, WorkloadFamily::Mixed, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_cmax(instance));
+  }
+}
+BENCHMARK(BM_DualApproxSearch)->Range(25, 400);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<ListJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(ListJob{i, static_cast<int>(rng.uniform_int(1, 32)),
+                           rng.uniform(0.5, 10.0), 0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule(200, n, jobs));
+  }
+}
+BENCHMARK(BM_ListScheduler)->Range(25, 400);
+
+void BM_MinsumLpBound(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance =
+      make_instance(n, 200, WorkloadFamily::HighlyParallel, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minsum_lower_bound(instance));
+  }
+}
+BENCHMARK(BM_MinsumLpBound)->RangeMultiplier(2)->Range(25, 100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DemtFull(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance =
+      make_instance(n, 200, WorkloadFamily::Cirne, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demt_schedule(instance));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DemtFull)->Range(25, 400)->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_DemtNoShuffle(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance =
+      make_instance(n, 200, WorkloadFamily::Cirne, 6);
+  DemtOptions options;
+  options.shuffles = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demt_schedule(instance, options));
+  }
+}
+BENCHMARK(BM_DemtNoShuffle)->Range(25, 400)->Unit(benchmark::kMillisecond);
+
+void BM_BatchBuild(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance =
+      make_instance(n, 200, WorkloadFamily::Mixed, 7);
+  std::vector<int> pending;
+  for (int i = 0; i < n; ++i) pending.push_back(i);
+  const double length = estimate_cmax(instance).estimate / 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_batch_items(instance, pending, length));
+  }
+}
+BENCHMARK(BM_BatchBuild)->Range(25, 400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// \file batching.hpp
+/// Batch construction for the bi-criteria algorithm (§3.2): candidate
+/// filtering, merging of small sequential tasks into single-processor
+/// stacks, and the knapsack selection of the batch content. Factored out of
+/// the driver so each stage is independently testable.
+
+#pragma once
+
+#include <vector>
+
+#include "tasks/instance.hpp"
+
+namespace moldsched {
+
+/// One schedulable unit inside a batch: either a single task at a fixed
+/// allotment, or a stack of small sequential tasks sharing one processor,
+/// executed back to back.
+struct BatchItem {
+  std::vector<int> tasks;  ///< task indices; >1 entries = merged stack
+  int procs = 1;           ///< processors consumed by the item
+  double weight = 0.0;     ///< combined weight (knapsack value)
+  double duration = 0.0;   ///< occupied time inside the batch
+
+  [[nodiscard]] bool is_stack() const noexcept { return tasks.size() > 1; }
+};
+
+struct BatchBuildOptions {
+  bool merge_small_tasks = true;
+  /// Order tasks inside a stack by Smith's rule (weight / time decreasing),
+  /// which is optimal for the stack's own minsum. false = the paper's
+  /// literal decreasing-weight order.
+  bool smith_order_stacks = true;
+};
+
+/// Build the candidate items of a batch of length `length` from the pending
+/// tasks. A task is a candidate when some allotment finishes within the
+/// batch (the paper's canonical choice: the SMALLEST such allotment). Small
+/// sequential candidates (single-processor time at most length/2) are
+/// stacked first-fit in decreasing weight order when merging is enabled.
+[[nodiscard]] std::vector<BatchItem> build_batch_items(
+    const Instance& instance, const std::vector<int>& pending, double length,
+    const BatchBuildOptions& options = {});
+
+/// Select the weight-maximising subset of items within the processor
+/// budget; returns indices into `items`.
+[[nodiscard]] std::vector<int> select_batch(const std::vector<BatchItem>& items,
+                                            int m);
+
+}  // namespace moldsched

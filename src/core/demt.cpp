@@ -1,0 +1,243 @@
+#include "core/demt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/batching.hpp"
+#include "dualapprox/cmax_estimator.hpp"
+#include "sched/compaction.hpp"
+#include "sched/list_scheduler.hpp"
+#include "tasks/time_grid.hpp"
+#include "util/rng.hpp"
+
+namespace moldsched {
+
+namespace {
+
+/// A selected batch: its grid index plus the items chosen by the knapsack.
+struct SelectedBatch {
+  int grid_index = 0;
+  std::vector<BatchItem> items;
+};
+
+/// Naive placement (§3.2 "the first schedule is simple"): every item of
+/// batch j starts at t_j; stacks run their tasks back to back on one
+/// processor; processors are packed from id 0 upward within the batch.
+Schedule naive_placement(const Instance& instance,
+                         const std::vector<SelectedBatch>& batches,
+                         const TimeGrid& grid) {
+  Schedule schedule(instance.procs(), instance.num_tasks());
+  for (const auto& batch : batches) {
+    const double start = grid.batch_start(batch.grid_index);
+    int next_proc = 0;
+    for (const auto& item : batch.items) {
+      std::vector<int> procs(static_cast<std::size_t>(item.procs));
+      for (int p = 0; p < item.procs; ++p) procs[static_cast<std::size_t>(p)] = next_proc + p;
+      next_proc += item.procs;
+      if (item.is_stack()) {
+        double offset = 0.0;
+        for (int task_id : item.tasks) {
+          const double d = instance.task(task_id).time(1);
+          schedule.place(task_id, start + offset, d, procs);
+          offset += d;
+        }
+      } else {
+        const int task_id = item.tasks.front();
+        schedule.place(task_id, start, item.duration, procs);
+      }
+    }
+  }
+  return schedule;
+}
+
+/// Expand a list-scheduled set of items back into per-task placements.
+Schedule expand_items(const Instance& instance,
+                      const std::vector<BatchItem>& items,
+                      const Schedule& item_schedule) {
+  Schedule schedule(instance.procs(), instance.num_tasks());
+  for (std::size_t idx = 0; idx < items.size(); ++idx) {
+    const auto& item = items[idx];
+    const Placement& p = item_schedule.placement(static_cast<int>(idx));
+    if (item.is_stack()) {
+      double offset = 0.0;
+      for (int task_id : item.tasks) {
+        const double d = instance.task(task_id).time(1);
+        schedule.place(task_id, p.start + offset, d, p.procs);
+        offset += d;
+      }
+    } else {
+      schedule.place(item.tasks.front(), p.start, p.duration, p.procs);
+    }
+  }
+  return schedule;
+}
+
+/// Run the event-driven list scheduler over the items in the given order.
+Schedule list_pass(const Instance& instance,
+                   const std::vector<BatchItem>& items,
+                   const std::vector<int>& order) {
+  std::vector<ListJob> jobs;
+  jobs.reserve(order.size());
+  for (int idx : order) {
+    const auto& item = items[static_cast<std::size_t>(idx)];
+    jobs.push_back(ListJob{idx, item.procs, item.duration, 0.0});
+  }
+  const Schedule item_schedule =
+      list_schedule(instance.procs(), static_cast<int>(items.size()), jobs);
+  // Re-order the schedule of items into task placements.
+  return expand_items(instance, items, item_schedule);
+}
+
+void apply_local_order(const Instance&, std::vector<BatchItem>& items,
+                       DemtOptions::LocalOrder order) {
+  switch (order) {
+    case DemtOptions::LocalOrder::AsSelected:
+      return;
+    case DemtOptions::LocalOrder::SmithRatio:
+      std::stable_sort(items.begin(), items.end(),
+                       [](const BatchItem& a, const BatchItem& b) {
+                         return a.weight / a.duration > b.weight / b.duration;
+                       });
+      return;
+    case DemtOptions::LocalOrder::LongestFirst:
+      std::stable_sort(items.begin(), items.end(),
+                       [](const BatchItem& a, const BatchItem& b) {
+                         return a.duration > b.duration;
+                       });
+      return;
+  }
+}
+
+}  // namespace
+
+DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
+  if (instance.empty()) {
+    throw std::invalid_argument("demt_schedule: empty instance");
+  }
+
+  // 1. Dual-approximation makespan estimate and the geometric grid.
+  const CmaxEstimate estimate = estimate_cmax(instance, options.dual_eps);
+  const TimeGrid grid(estimate.estimate, instance.tmin());
+
+  DemtDiagnostics diag;
+  diag.cmax_estimate = estimate.estimate;
+  diag.cmax_lower_bound = estimate.lower_bound;
+  diag.grid_k = grid.K();
+
+  // 2./3. Batch loop: select content for batches 0, 1, ... until every task
+  // is placed. The paper iterates to K; the knapsack may leave tasks over,
+  // so we keep opening (doubling) batches — by j >= K every task is a
+  // candidate, and each further batch selects at least one task.
+  std::vector<int> pending(static_cast<std::size_t>(instance.num_tasks()));
+  for (int i = 0; i < instance.num_tasks(); ++i) {
+    pending[static_cast<std::size_t>(i)] = i;
+  }
+  BatchBuildOptions build_options;
+  build_options.merge_small_tasks = options.merge_small_tasks;
+  build_options.smith_order_stacks = options.smith_order_stacks;
+
+  std::vector<SelectedBatch> batches;
+  const int max_batches = grid.K() + 128;  // defensive cap; never reached
+  for (int j = 0; !pending.empty(); ++j) {
+    if (j > max_batches) {
+      throw std::logic_error("demt_schedule: batch loop failed to drain");
+    }
+    auto items =
+        build_batch_items(instance, pending, grid.batch_length(j), build_options);
+    if (items.empty()) continue;  // nothing fits yet; batch sizes double
+    const std::vector<int> chosen = select_batch(items, instance.procs());
+    if (chosen.empty()) continue;
+
+    SelectedBatch batch;
+    batch.grid_index = j;
+    std::vector<bool> remove(static_cast<std::size_t>(instance.num_tasks()),
+                             false);
+    for (int idx : chosen) {
+      auto& item = items[static_cast<std::size_t>(idx)];
+      if (item.is_stack()) ++diag.merged_stacks;
+      for (int task_id : item.tasks) {
+        remove[static_cast<std::size_t>(task_id)] = true;
+      }
+      batch.items.push_back(std::move(item));
+    }
+    apply_local_order(instance, batch.items, options.local_order);
+    batches.push_back(std::move(batch));
+    std::erase_if(pending,
+                  [&](int t) { return remove[static_cast<std::size_t>(t)]; });
+  }
+  diag.num_batches = static_cast<int>(batches.size());
+
+  // 4. Compaction.
+  Schedule best = naive_placement(instance, batches, grid);
+  if (options.compaction == DemtOptions::Compaction::None) {
+    return DemtResult{std::move(best), diag};
+  }
+  pull_forward(best);
+  if (options.compaction == DemtOptions::Compaction::PullForward) {
+    return DemtResult{std::move(best), diag};
+  }
+
+  // Full list pass in batch order; the flat item array preserves batch
+  // boundaries through index ranges.
+  std::vector<BatchItem> flat_items;
+  std::vector<std::pair<int, int>> batch_ranges;  // [first, last) into flat
+  for (const auto& batch : batches) {
+    const int first = static_cast<int>(flat_items.size());
+    for (const auto& item : batch.items) flat_items.push_back(item);
+    batch_ranges.emplace_back(first, static_cast<int>(flat_items.size()));
+  }
+  std::vector<int> order(flat_items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  Schedule listed = list_pass(instance, flat_items, order);
+  pull_forward(listed);
+
+  // The list pass is the paper's preferred compaction, but it is a
+  // heuristic: keep whichever of {pulled naive, listed} dominates on the
+  // acceptance rule (minsum first, makespan budget).
+  double best_wc = best.weighted_completion_sum(instance);
+  double base_cmax = best.cmax();
+  {
+    const double wc = listed.weighted_completion_sum(instance);
+    const double cm = listed.cmax();
+    if (wc < best_wc || cm < base_cmax) {
+      best = std::move(listed);
+      best_wc = wc;
+      base_cmax = cm;
+    }
+  }
+
+  // 5. Shuffle optimisation: randomise the order within batches (optionally
+  // the batch order too), rerun the list pass, keep improvements within the
+  // makespan budget.
+  Rng rng(options.shuffle_seed);
+  const double cmax_budget = base_cmax * options.cmax_budget_factor;
+  for (int s = 0; s < options.shuffles; ++s) {
+    std::vector<std::pair<int, int>> ranges = batch_ranges;
+    if (options.shuffle_batch_order) rng.shuffle(ranges);
+    std::vector<int> shuffled;
+    shuffled.reserve(flat_items.size());
+    for (const auto& [first, last] : ranges) {
+      std::vector<int> ids;
+      ids.reserve(static_cast<std::size_t>(last - first));
+      for (int i = first; i < last; ++i) ids.push_back(i);
+      rng.shuffle(ids);
+      shuffled.insert(shuffled.end(), ids.begin(), ids.end());
+    }
+    Schedule candidate = list_pass(instance, flat_items, shuffled);
+    pull_forward(candidate);
+    const double wc = candidate.weighted_completion_sum(instance);
+    const double cm = candidate.cmax();
+    if (wc < best_wc - 1e-12 && cm <= cmax_budget + 1e-12) {
+      best = std::move(candidate);
+      best_wc = wc;
+      ++diag.shuffle_improvements;
+    }
+  }
+
+  return DemtResult{std::move(best), diag};
+}
+
+}  // namespace moldsched

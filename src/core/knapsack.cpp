@@ -1,0 +1,52 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moldsched {
+
+std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
+                                     int capacity) {
+  if (capacity < 0) {
+    throw std::invalid_argument("max_weight_knapsack: negative capacity");
+  }
+  for (const auto& item : items) {
+    if (item.cost <= 0) {
+      throw std::invalid_argument("max_weight_knapsack: non-positive cost");
+    }
+    if (item.weight < 0.0) {
+      throw std::invalid_argument("max_weight_knapsack: negative weight");
+    }
+  }
+
+  const std::size_t n = items.size();
+  const auto cap = static_cast<std::size_t>(capacity);
+  // dp[j] = best weight with budget j after processing a prefix of items;
+  // taken[i][j] records the decision for reconstruction.
+  std::vector<double> dp(cap + 1, 0.0);
+  std::vector<std::vector<bool>> taken(n, std::vector<bool>(cap + 1, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cost = static_cast<std::size_t>(items[i].cost);
+    if (cost > cap) continue;
+    for (std::size_t j = cap; j >= cost; --j) {
+      const double candidate = dp[j - cost] + items[i].weight;
+      if (candidate > dp[j]) {
+        dp[j] = candidate;
+        taken[i][j] = true;
+      }
+    }
+  }
+
+  std::vector<int> selected;
+  std::size_t j = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (j < taken[i].size() && taken[i][j]) {
+      selected.push_back(static_cast<int>(i));
+      j -= static_cast<std::size_t>(items[i].cost);
+    }
+  }
+  std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,28 @@
+/// \file knapsack.hpp
+/// 0/1 knapsack used for the per-batch job selection (§3.2): maximise the
+/// total weight of selected items subject to the processor budget. The
+/// paper's DP
+///
+///   W(i, j) = max( W(i-1, j), W(i-1, j - alloc_i) + w_i )
+///
+/// in O(m n) time, with solution reconstruction.
+
+#pragma once
+
+#include <vector>
+
+namespace moldsched {
+
+struct KnapsackItem {
+  int cost = 0;        ///< processors consumed (alloc_i)
+  double weight = 0.0; ///< value to maximise (w_i)
+};
+
+/// Returns the indices of the selected items (increasing order). Items
+/// whose cost exceeds the capacity are never selected; zero-cost items are
+/// rejected with std::invalid_argument (the batch selection never produces
+/// them and they would make the greedy stages ill-defined).
+[[nodiscard]] std::vector<int> max_weight_knapsack(
+    const std::vector<KnapsackItem>& items, int capacity);
+
+}  // namespace moldsched

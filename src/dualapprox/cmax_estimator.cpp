@@ -1,0 +1,66 @@
+#include "dualapprox/cmax_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace moldsched {
+
+CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
+  if (instance.empty()) {
+    throw std::invalid_argument("estimate_cmax: empty instance");
+  }
+  if (!(rel_eps > 0.0)) {
+    throw std::invalid_argument("estimate_cmax: rel_eps must be positive");
+  }
+
+  // Combinatorial lower bounds: the machine must absorb the minimal total
+  // work, and every task needs at least its fastest execution time.
+  double lb = instance.total_min_work() / instance.procs();
+  for (const auto& task : instance.tasks()) {
+    lb = std::max(lb, task.min_time());
+  }
+
+  CmaxEstimate out;
+  out.lower_bound = lb;
+
+  // If the dual test already accepts the combinatorial bound, it is also
+  // the estimate — no schedule can beat it.
+  DualTestResult at_lb = dual_test(instance, lb);
+  if (at_lb.feasible) {
+    out.estimate = lb;
+    out.partition = std::move(at_lb);
+    return out;
+  }
+
+  // Exponential search for an accepted guess, then bisection. `lo` is
+  // always rejected, `hi` always accepted.
+  double lo = lb;
+  double hi = lb * 2.0;
+  DualTestResult at_hi = dual_test(instance, hi);
+  while (!at_hi.feasible) {
+    lo = hi;
+    hi *= 2.0;
+    at_hi = dual_test(instance, hi);
+    if (hi > lb * 1e9) {
+      throw std::logic_error("estimate_cmax: dual test never accepts");
+    }
+  }
+
+  while (hi - lo > rel_eps * hi) {
+    const double mid = 0.5 * (lo + hi);
+    DualTestResult at_mid = dual_test(instance, mid);
+    if (at_mid.feasible) {
+      hi = mid;
+      at_hi = std::move(at_mid);
+    } else {
+      lo = mid;
+    }
+  }
+
+  out.estimate = hi;
+  out.lower_bound = std::max(lb, lo);
+  out.partition = std::move(at_hi);
+  return out;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,32 @@
+/// \file cmax_estimator.hpp
+/// Binary search over the dual test: produces the C*max estimate that
+/// drives the bi-criteria algorithm's batch sizes, the makespan lower bound
+/// used to normalise every Cmax measurement in the experiments, and the
+/// shelf partition/allotments consumed by the List-Graham baselines.
+
+#pragma once
+
+#include "dualapprox/dual_test.hpp"
+#include "tasks/instance.hpp"
+
+namespace moldsched {
+
+struct CmaxEstimate {
+  /// Smallest accepted guess — the paper's "approximate C*max".
+  double estimate = 0.0;
+  /// Valid lower bound on the optimal makespan: the larger of the classic
+  /// bounds (total min-work / m, max over tasks of min time) and the
+  /// largest refuted guess.
+  double lower_bound = 0.0;
+  /// Dual-test partition at `estimate` (shelf + allotment per task).
+  DualTestResult partition;
+};
+
+/// Runs the search to relative precision `rel_eps` (the interval
+/// [lower_bound, estimate] shrinks until estimate - lower_bound <=
+/// rel_eps * estimate). Throws std::invalid_argument on an empty instance
+/// or non-positive rel_eps.
+[[nodiscard]] CmaxEstimate estimate_cmax(const Instance& instance,
+                                         double rel_eps = 1e-4);
+
+}  // namespace moldsched

@@ -1,0 +1,140 @@
+#include "dualapprox/dual_test.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Candidate allotment for shelf 1: `procs` processors at `work` area.
+struct Option {
+  int procs;
+  double work;
+};
+
+/// Pareto-minimal shelf-1 options of a task for deadline `lambda`:
+/// increasing processor count with strictly decreasing work. For monotone
+/// tasks this collapses to the single canonical allotment.
+std::vector<Option> shelf1_options(const MoldableTask& task, double lambda) {
+  std::vector<Option> options;
+  for (int k = task.min_procs(); k <= task.max_procs(); ++k) {
+    if (task.time(k) > lambda) continue;
+    const double w = task.work(k);
+    if (!options.empty() && options.back().work <= w) continue;
+    options.push_back(Option{k, w});
+  }
+  return options;
+}
+
+}  // namespace
+
+DualTestResult dual_test(const Instance& instance, double lambda) {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("dual_test: lambda must be positive");
+  }
+  const int n = instance.num_tasks();
+  const int m = instance.procs();
+  DualTestResult result;
+  result.assignment.assign(static_cast<std::size_t>(n), ShelfAssignment{});
+
+  // Per-task choices. Soundness of the rejection certificate: any schedule
+  // of length lambda induces a partition where "long" tasks (running more
+  // than lambda/2) all overlap the midpoint, hence their true allotments
+  // sum to <= m, and every "short" task has a lambda/2-feasible allotment.
+  // Our DP minimises total work over a superset of those partitions, so
+  // min-work > m*lambda (or no partition at all) refutes the guess for
+  // ANY task structure, monotone or not.
+  struct TaskChoices {
+    std::vector<Option> shelf1;
+    double shelf2_work = kInf;  // min work within lambda/2, +inf if none
+    int shelf2_procs = 0;
+  };
+  std::vector<TaskChoices> choices(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const MoldableTask& task = instance.task(i);
+    auto& c = choices[static_cast<std::size_t>(i)];
+    c.shelf1 = shelf1_options(task, lambda);
+    if (c.shelf1.empty()) return result;  // cannot meet lambda: reject
+    const int g2 = task.min_work_allotment(lambda / 2.0);
+    if (g2 > 0) {
+      c.shelf2_work = task.work(g2);
+      c.shelf2_procs = g2;
+    }
+  }
+
+  // DP over the shelf-1 processor budget: dp[j] = min total work when
+  // shelf-1 allotments sum to <= j. Option index per (task, budget) for
+  // reconstruction; kShelf2 means the task stayed in shelf 2.
+  constexpr std::int16_t kShelf2 = -1;
+  constexpr std::int16_t kUnreachable = -2;
+  std::vector<double> dp(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<double> next(static_cast<std::size_t>(m) + 1);
+  std::vector<std::vector<std::int16_t>> pick(
+      static_cast<std::size_t>(n),
+      std::vector<std::int16_t>(static_cast<std::size_t>(m) + 1, kUnreachable));
+
+  for (int i = 0; i < n; ++i) {
+    const auto& c = choices[static_cast<std::size_t>(i)];
+    for (int j = 0; j <= m; ++j) {
+      double best = kInf;
+      std::int16_t best_pick = kUnreachable;
+      if (dp[static_cast<std::size_t>(j)] < kInf &&
+          c.shelf2_work < kInf) {
+        best = dp[static_cast<std::size_t>(j)] + c.shelf2_work;
+        best_pick = kShelf2;
+      }
+      for (std::size_t o = 0; o < c.shelf1.size(); ++o) {
+        const int cost = c.shelf1[o].procs;
+        if (cost > j) break;  // options sorted by increasing procs
+        const double base = dp[static_cast<std::size_t>(j - cost)];
+        if (base >= kInf) continue;
+        const double candidate = base + c.shelf1[o].work;
+        if (candidate < best) {
+          best = candidate;
+          best_pick = static_cast<std::int16_t>(o);
+        }
+      }
+      next[static_cast<std::size_t>(j)] = best;
+      pick[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = best_pick;
+    }
+    dp.swap(next);
+  }
+
+  if (dp[static_cast<std::size_t>(m)] >= kInf) {
+    return result;  // even ignoring work, shelf-1 demand cannot fit: reject
+  }
+  result.total_work = dp[static_cast<std::size_t>(m)];
+  result.feasible =
+      result.total_work <= static_cast<double>(m) * lambda * (1.0 + 1e-12);
+  if (!result.feasible) return result;
+
+  // Reconstruct the work-minimising partition.
+  // Walk budgets backwards: at task i with budget j, the recorded pick
+  // tells which option produced dp_i[j]; dp arrays are rebuilt implicitly
+  // by the monotone budget walk.
+  int j = m;
+  for (int i = n - 1; i >= 0; --i) {
+    const auto& c = choices[static_cast<std::size_t>(i)];
+    const std::int16_t p = pick[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    if (p == kUnreachable) {
+      throw std::logic_error("dual_test: broken DP reconstruction");
+    }
+    if (p == kShelf2) {
+      result.assignment[static_cast<std::size_t>(i)] =
+          ShelfAssignment{Shelf::Small, c.shelf2_procs};
+    } else {
+      const Option& option = c.shelf1[static_cast<std::size_t>(p)];
+      result.assignment[static_cast<std::size_t>(i)] =
+          ShelfAssignment{Shelf::Large, option.procs};
+      j -= option.procs;
+    }
+  }
+  return result;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,47 @@
+/// \file dual_test.hpp
+/// Two-shelf dual-approximation test for the moldable makespan problem
+/// (Mounié–Rapine–Trystram; the paper's references [7]/[17]).
+///
+/// Given a makespan guess `lambda`, every task is assigned its canonical
+/// allotment for either shelf 1 (deadline lambda) or shelf 2 (deadline
+/// lambda/2). A knapsack chooses the partition minimising total work under
+/// the constraint that shelf-1 allotments sum to at most m processors
+/// (tasks that cannot run within lambda/2 on any allotment are forced to
+/// shelf 1). The guess is REJECTED — proving OPT > lambda — when
+///
+///  * some task cannot run within lambda at all, or
+///  * shelf-1 demand cannot fit in m processors, or
+///  * the minimised total work exceeds m * lambda.
+///
+/// Rejection is a certificate (any schedule of length lambda induces a
+/// partition satisfying all three conditions), so the largest rejected
+/// lambda is a valid makespan lower bound. Acceptance feeds the batch sizes
+/// of the bi-criteria algorithm and the allotments of the List-Graham
+/// baselines.
+
+#pragma once
+
+#include <vector>
+
+#include "tasks/instance.hpp"
+
+namespace moldsched {
+
+enum class Shelf { Large = 1, Small = 2 };
+
+struct ShelfAssignment {
+  Shelf shelf = Shelf::Large;
+  int allotment = 0;  ///< processors; 0 = infeasible marker
+};
+
+struct DualTestResult {
+  bool feasible = false;     ///< guess accepted (not refuted)
+  double total_work = 0.0;   ///< minimised total work of the partition
+  /// Per-task shelf and allotment; meaningful only when feasible.
+  std::vector<ShelfAssignment> assignment;
+};
+
+/// Run the dual test for guess `lambda` (> 0).
+[[nodiscard]] DualTestResult dual_test(const Instance& instance, double lambda);
+
+}  // namespace moldsched

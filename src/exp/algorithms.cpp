@@ -1,0 +1,55 @@
+#include "exp/algorithms.hpp"
+
+#include <stdexcept>
+
+#include "baselines/baselines.hpp"
+
+namespace moldsched {
+
+std::vector<AlgorithmSpec> standard_algorithms(const DemtOptions& demt_options) {
+  std::vector<AlgorithmSpec> algorithms;
+  algorithms.push_back({"DEMT", [demt_options](const Instance& instance) {
+                          return demt_schedule(instance, demt_options).schedule;
+                        }});
+  algorithms.push_back({"Gang", [](const Instance& instance) {
+                          return gang_schedule(instance);
+                        }});
+  algorithms.push_back({"Sequential", [](const Instance& instance) {
+                          return sequential_lptf_schedule(instance);
+                        }});
+  algorithms.push_back({"List", [](const Instance& instance) {
+                          return list_graham_schedule(instance,
+                                                      ListOrder::ShelfOrder);
+                        }});
+  algorithms.push_back({"LPTF", [](const Instance& instance) {
+                          return list_graham_schedule(instance,
+                                                      ListOrder::WeightedLptf);
+                        }});
+  algorithms.push_back({"SAF", [](const Instance& instance) {
+                          return list_graham_schedule(
+                              instance, ListOrder::SmallestAreaFirst);
+                        }});
+  return algorithms;
+}
+
+std::vector<AlgorithmSpec> algorithms_by_name(
+    const std::vector<std::string>& names, const DemtOptions& demt_options) {
+  const auto all = standard_algorithms(demt_options);
+  std::vector<AlgorithmSpec> out;
+  for (const auto& name : names) {
+    bool found = false;
+    for (const auto& algorithm : all) {
+      if (algorithm.name == name) {
+        out.push_back(algorithm);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("unknown algorithm: " + name);
+    }
+  }
+  return out;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,58 @@
+/// \file minsum_bound.hpp
+/// Lower bounds on the optimal weighted sum of completion times.
+///
+/// The main bound is the paper's §3.3 interval-indexed LP relaxation:
+/// decision variable x_{i,l} = 1 when task i completes in interval l of the
+/// geometric grid; objective sum w_i * (interval left endpoint) * x_{i,l};
+/// constraints: each task completes somewhere, and for every prefix of
+/// intervals the minimal areas of the tasks finishing in it fit in the
+/// m * t rectangle. Our formulation adds two soundness patches to the
+/// paper's sketch (documented in DESIGN.md §3):
+///
+///  * a leading interval (0, t_0] with zero objective coefficient, so tasks
+///    that finish before t_0 are representable at a cost below their true
+///    completion time;
+///  * a trailing open interval (t_{K+1}, inf) with no area constraint, so
+///    schedules longer than 2*C*max remain representable.
+///
+/// Both patches only enlarge the LP's feasible set relative to any feasible
+/// schedule's induced solution, so the optimum stays a valid lower bound.
+///
+/// A secondary, purely combinatorial "squashed area" bound is provided as a
+/// fast cross-check (used heavily in the property tests).
+
+#pragma once
+
+#include "lp/simplex.hpp"
+#include "tasks/instance.hpp"
+#include "tasks/time_grid.hpp"
+
+namespace moldsched {
+
+struct MinsumBoundResult {
+  double bound = 0.0;        ///< valid lower bound on OPT(sum w_i C_i)
+  LpStatus status = LpStatus::Optimal;
+  std::int64_t iterations = 0;
+  int num_vars = 0;
+  int num_rows = 0;
+};
+
+/// Build and solve the relaxation for the given grid (normally
+/// TimeGrid(estimate_cmax(instance).estimate, instance.tmin())).
+/// On solver failure (iteration limit) falls back to the squashed-area
+/// bound and reports the solver status.
+[[nodiscard]] MinsumBoundResult minsum_lower_bound(
+    const Instance& instance, const TimeGrid& grid,
+    const SimplexOptions& options = {});
+
+/// Convenience overload: derives the grid from the dual-approximation
+/// makespan estimate, as the paper does.
+[[nodiscard]] MinsumBoundResult minsum_lower_bound(const Instance& instance);
+
+/// Squashed-area bound: sort minimal task areas increasingly; the k-th
+/// completion in ANY schedule is at least (sum of k smallest areas) / m; by
+/// the rearrangement inequality, pairing the largest weights with the
+/// earliest positions yields a valid lower bound on sum w_i C_i.
+[[nodiscard]] double squashed_area_bound(const Instance& instance);
+
+}  // namespace moldsched

@@ -1,0 +1,390 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace moldsched {
+
+void LpProblem::validate() const {
+  if (num_vars < 0) throw std::invalid_argument("LpProblem: num_vars < 0");
+  if (static_cast<int>(objective.size()) != num_vars) {
+    throw std::invalid_argument("LpProblem: objective size mismatch");
+  }
+  if (!upper.empty() && static_cast<int>(upper.size()) != num_vars) {
+    throw std::invalid_argument("LpProblem: upper size mismatch");
+  }
+  for (double u : upper) {
+    if (u < 0.0) throw std::invalid_argument("LpProblem: negative upper bound");
+  }
+  for (const auto& row : rows) {
+    std::vector<bool> seen(static_cast<std::size_t>(num_vars), false);
+    for (const auto& [j, v] : row.coeffs) {
+      if (j < 0 || j >= num_vars) {
+        throw std::invalid_argument("LpProblem: column index out of range");
+      }
+      if (seen[static_cast<std::size_t>(j)]) {
+        throw std::invalid_argument("LpProblem: repeated column in row");
+      }
+      seen[static_cast<std::size_t>(j)] = true;
+      if (!std::isfinite(v)) {
+        throw std::invalid_argument("LpProblem: non-finite coefficient");
+      }
+    }
+    if (!std::isfinite(row.rhs)) {
+      throw std::invalid_argument("LpProblem: non-finite rhs");
+    }
+  }
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class VarState : std::uint8_t { AtLower, AtUpper, Basic };
+
+/// Dense bounded-variable primal simplex working state. The tableau is
+/// B^{-1}A, kept explicit and updated by full row elimination per pivot;
+/// `beta` stores the current *values* of the basic variables (not B^{-1}b),
+/// which makes the bounded-variable update rule a one-liner.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, const SimplexOptions& options)
+      : opt_(options), n_struct_(problem.num_vars),
+        n_rows_(static_cast<int>(problem.rows.size())) {
+    // Column layout: [structurals][slacks][artificials].
+    n_slack_ = 0;
+    for (const auto& row : problem.rows) {
+      if (row.rel != Relation::Equal) ++n_slack_;
+    }
+    n_total_ = n_struct_ + n_slack_ + n_rows_;
+    tab_.assign(static_cast<std::size_t>(n_rows_) * n_total_, 0.0);
+    upper_.assign(static_cast<std::size_t>(n_total_), kInf);
+    for (int j = 0; j < n_struct_; ++j) {
+      upper_[static_cast<std::size_t>(j)] =
+          problem.upper.empty() ? kInf
+                                : problem.upper[static_cast<std::size_t>(j)];
+    }
+    cost_.assign(static_cast<std::size_t>(n_total_), 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      cost_[static_cast<std::size_t>(j)] =
+          problem.objective[static_cast<std::size_t>(j)];
+    }
+
+    beta_.assign(static_cast<std::size_t>(n_rows_), 0.0);
+    basis_.assign(static_cast<std::size_t>(n_rows_), -1);
+    state_.assign(static_cast<std::size_t>(n_total_), VarState::AtLower);
+    eligible_.assign(static_cast<std::size_t>(n_total_), true);
+
+    int slack = n_struct_;
+    for (int i = 0; i < n_rows_; ++i) {
+      const auto& row = problem.rows[static_cast<std::size_t>(i)];
+      double* t = row_ptr(i);
+      double sign = 1.0;
+      // Slack converts the relation to an equality.
+      int slack_col = -1;
+      double slack_coeff = 0.0;
+      if (row.rel == Relation::LessEq) {
+        slack_col = slack++;
+        slack_coeff = 1.0;
+      } else if (row.rel == Relation::GreaterEq) {
+        slack_col = slack++;
+        slack_coeff = -1.0;
+      }
+      // Make rhs non-negative so artificials start feasible.
+      if (row.rhs < 0.0) sign = -1.0;
+      for (const auto& [j, v] : row.coeffs) {
+        t[j] = sign * v;
+      }
+      if (slack_col >= 0) t[slack_col] = sign * slack_coeff;
+      const int art = n_struct_ + n_slack_ + i;
+      t[art] = 1.0;
+      beta_[static_cast<std::size_t>(i)] = sign * row.rhs;
+      basis_[static_cast<std::size_t>(i)] = art;
+      state_[static_cast<std::size_t>(art)] = VarState::Basic;
+    }
+  }
+
+  /// Run phase 1 (artificial elimination) then phase 2. Returns the final
+  /// status; `iterations` accumulates across phases.
+  LpStatus run(std::int64_t& iterations) {
+    // Phase 1: minimise the sum of artificial variables.
+    std::vector<double> phase1_cost(static_cast<std::size_t>(n_total_), 0.0);
+    for (int i = 0; i < n_rows_; ++i) {
+      phase1_cost[static_cast<std::size_t>(n_struct_ + n_slack_ + i)] = 1.0;
+    }
+    const LpStatus s1 = optimize(phase1_cost, iterations);
+    if (s1 == LpStatus::IterationLimit) return s1;
+    if (s1 == LpStatus::Unbounded) {
+      throw std::logic_error("simplex: phase 1 unbounded (impossible)");
+    }
+    double infeas = 0.0;
+    for (int i = 0; i < n_rows_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      if (b >= n_struct_ + n_slack_) {
+        infeas += std::max(0.0, beta_[static_cast<std::size_t>(i)]);
+      }
+    }
+    for (int j = n_struct_ + n_slack_; j < n_total_; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == VarState::AtUpper) {
+        // Artificials have infinite upper bound, so this cannot happen.
+        throw std::logic_error("simplex: artificial at upper bound");
+      }
+    }
+    if (infeas > opt_.feas_tol) return LpStatus::Infeasible;
+
+    // Lock artificials at zero for phase 2: never price them in, and cap
+    // their bound so the ratio test expels any still basic at value 0.
+    for (int j = n_struct_ + n_slack_; j < n_total_; ++j) {
+      eligible_[static_cast<std::size_t>(j)] = false;
+      upper_[static_cast<std::size_t>(j)] = 0.0;
+    }
+    return optimize(cost_, iterations);
+  }
+
+  /// Extract the structural solution.
+  void extract(std::vector<double>& x) const {
+    x.assign(static_cast<std::size_t>(n_struct_), 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == VarState::AtUpper) {
+        x[static_cast<std::size_t>(j)] = upper_[static_cast<std::size_t>(j)];
+      }
+    }
+    for (int i = 0; i < n_rows_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      if (b < n_struct_) {
+        x[static_cast<std::size_t>(b)] = beta_[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+ private:
+  double* row_ptr(int i) {
+    return tab_.data() + static_cast<std::size_t>(i) * n_total_;
+  }
+  const double* row_ptr(int i) const {
+    return tab_.data() + static_cast<std::size_t>(i) * n_total_;
+  }
+
+  /// Reduced costs for the given cost vector: d = c - c_B^T (B^{-1}A).
+  void compute_reduced_costs(const std::vector<double>& c,
+                             std::vector<double>& d) const {
+    d = c;
+    for (int i = 0; i < n_rows_; ++i) {
+      const double cb = c[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      if (cb == 0.0) continue;
+      const double* t = row_ptr(i);
+      for (int j = 0; j < n_total_; ++j) {
+        d[static_cast<std::size_t>(j)] -= cb * t[j];
+      }
+    }
+    for (int i = 0; i < n_rows_; ++i) {
+      d[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = 0.0;
+    }
+  }
+
+  LpStatus optimize(const std::vector<double>& c, std::int64_t& iterations) {
+    std::vector<double> d;
+    compute_reduced_costs(c, d);
+
+    for (;;) {
+      if (iterations >= opt_.max_iterations) return LpStatus::IterationLimit;
+      const bool bland = iterations >= opt_.bland_after;
+
+      // --- Pricing ---------------------------------------------------
+      int q = -1;
+      double best_score = opt_.cost_tol;
+      int dir = 0;
+      for (int j = 0; j < n_total_; ++j) {
+        if (!eligible_[static_cast<std::size_t>(j)]) continue;
+        const VarState s = state_[static_cast<std::size_t>(j)];
+        double score = 0.0;
+        int candidate_dir = 0;
+        if (s == VarState::AtLower && d[static_cast<std::size_t>(j)] < -opt_.cost_tol) {
+          score = -d[static_cast<std::size_t>(j)];
+          candidate_dir = +1;
+        } else if (s == VarState::AtUpper &&
+                   d[static_cast<std::size_t>(j)] > opt_.cost_tol) {
+          score = d[static_cast<std::size_t>(j)];
+          candidate_dir = -1;
+        } else {
+          continue;
+        }
+        if (bland) {  // first eligible index
+          q = j;
+          dir = candidate_dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          q = j;
+          dir = candidate_dir;
+        }
+      }
+      if (q < 0) return LpStatus::Optimal;  // no improving direction
+
+      // --- Ratio test -------------------------------------------------
+      // Entering variable moves by step t >= 0 in direction `dir`; basic
+      // variable i changes as beta_i - dir * t * T[i][q]. The step is
+      // limited by each basic variable's bounds and by the entering
+      // variable's own opposite bound (a "bound flip", leave_row == -1).
+      double t_max = upper_[static_cast<std::size_t>(q)];
+      int leave_row = -1;
+      int leave_to_upper = 0;
+      for (int i = 0; i < n_rows_; ++i) {
+        const double alpha = row_ptr(i)[q];
+        const double gamma = dir * alpha;
+        if (std::abs(gamma) <= opt_.pivot_tol) continue;
+        const int b = basis_[static_cast<std::size_t>(i)];
+        double limit;
+        int to_upper;
+        if (gamma > 0.0) {  // basic value decreasing toward 0
+          limit = beta_[static_cast<std::size_t>(i)] / gamma;
+          to_upper = 0;
+        } else {  // basic value increasing toward its upper bound
+          const double ub = upper_[static_cast<std::size_t>(b)];
+          if (ub == kInf) continue;
+          limit = (ub - beta_[static_cast<std::size_t>(i)]) / (-gamma);
+          to_upper = 1;
+        }
+        limit = std::max(limit, 0.0);
+        // Careful with an infinite t_max (entering variable unbounded
+        // above): inf - tol is NaN-prone only if tol were inf, so keep the
+        // tolerance finite and compare explicitly.
+        const double tie_tol =
+            std::isfinite(t_max) ? 1e-10 * (1.0 + std::abs(t_max)) : 0.0;
+        const bool strictly_better =
+            !std::isfinite(t_max) || limit < t_max - tie_tol;
+        if (strictly_better) {
+          t_max = limit;
+          leave_row = i;
+          leave_to_upper = to_upper;
+        } else if (leave_row >= 0 && limit <= t_max + tie_tol) {
+          // Tie among leaving candidates: Bland wants the smallest basis
+          // index (termination); otherwise prefer the largest pivot
+          // magnitude (stability).
+          const bool prefer =
+              bland ? basis_[static_cast<std::size_t>(i)] <
+                          basis_[static_cast<std::size_t>(leave_row)]
+                    : std::abs(alpha) > std::abs(row_ptr(leave_row)[q]);
+          if (prefer) {
+            t_max = std::min(t_max, limit);
+            leave_row = i;
+            leave_to_upper = to_upper;
+          }
+        }
+      }
+
+      if (t_max == kInf) return LpStatus::Unbounded;
+      ++iterations;
+
+      if (leave_row < 0) {
+        // Pure bound flip: q jumps to its opposite bound.
+        const double step = t_max;
+        for (int i = 0; i < n_rows_; ++i) {
+          beta_[static_cast<std::size_t>(i)] -= dir * step * row_ptr(i)[q];
+        }
+        state_[static_cast<std::size_t>(q)] =
+            dir > 0 ? VarState::AtUpper : VarState::AtLower;
+        continue;
+      }
+
+      // --- Pivot -------------------------------------------------------
+      const double step = t_max;
+      const int leaving = basis_[static_cast<std::size_t>(leave_row)];
+      // New values: every basic moves; q enters with its new value.
+      for (int i = 0; i < n_rows_; ++i) {
+        beta_[static_cast<std::size_t>(i)] -= dir * step * row_ptr(i)[q];
+      }
+      const double entering_value =
+          (state_[static_cast<std::size_t>(q)] == VarState::AtLower
+               ? 0.0
+               : upper_[static_cast<std::size_t>(q)]) +
+          dir * step;
+      beta_[static_cast<std::size_t>(leave_row)] = entering_value;
+      basis_[static_cast<std::size_t>(leave_row)] = q;
+      state_[static_cast<std::size_t>(q)] = VarState::Basic;
+      state_[static_cast<std::size_t>(leaving)] =
+          leave_to_upper ? VarState::AtUpper : VarState::AtLower;
+
+      // Eliminate column q from all other rows and from the reduced costs.
+      double* pr = row_ptr(leave_row);
+      const double pivot = pr[q];
+      if (std::abs(pivot) <= opt_.pivot_tol) {
+        throw std::logic_error("simplex: numerically singular pivot");
+      }
+      const double inv = 1.0 / pivot;
+      for (int j = 0; j < n_total_; ++j) pr[j] *= inv;
+      pr[q] = 1.0;  // exact
+      for (int i = 0; i < n_rows_; ++i) {
+        if (i == leave_row) continue;
+        double* ri = row_ptr(i);
+        const double f = ri[q];
+        if (f == 0.0) continue;
+        for (int j = 0; j < n_total_; ++j) ri[j] -= f * pr[j];
+        ri[q] = 0.0;  // exact
+      }
+      {
+        const double f = d[static_cast<std::size_t>(q)];
+        if (f != 0.0) {
+          for (int j = 0; j < n_total_; ++j) {
+            d[static_cast<std::size_t>(j)] -= f * pr[j];
+          }
+          d[static_cast<std::size_t>(q)] = 0.0;
+        }
+      }
+    }
+  }
+
+  SimplexOptions opt_;
+  int n_struct_;
+  int n_rows_;
+  int n_slack_ = 0;
+  int n_total_ = 0;
+  std::vector<double> tab_;
+  std::vector<double> beta_;
+  std::vector<int> basis_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;
+  std::vector<VarState> state_;
+  std::vector<bool> eligible_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  problem.validate();
+  LpSolution solution;
+  if (problem.num_vars == 0) {
+    // Feasible iff every row is satisfied by the empty assignment.
+    for (const auto& row : problem.rows) {
+      const bool ok = (row.rel == Relation::LessEq && row.rhs >= 0.0) ||
+                      (row.rel == Relation::GreaterEq && row.rhs <= 0.0) ||
+                      (row.rel == Relation::Equal && row.rhs == 0.0);
+      if (!ok) {
+        solution.status = LpStatus::Infeasible;
+        return solution;
+      }
+    }
+    solution.status = LpStatus::Optimal;
+    return solution;
+  }
+
+  Tableau tableau(problem, options);
+  std::int64_t iterations = 0;
+  solution.status = tableau.run(iterations);
+  solution.iterations = iterations;
+  if (solution.status == LpStatus::Optimal) {
+    tableau.extract(solution.x);
+    double z = 0.0;
+    for (int j = 0; j < problem.num_vars; ++j) {
+      z += problem.objective[static_cast<std::size_t>(j)] *
+           solution.x[static_cast<std::size_t>(j)];
+    }
+    solution.objective = z;
+  }
+  return solution;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,67 @@
+/// \file simplex.hpp
+/// Dense two-phase primal simplex with implicit variable upper bounds
+/// (0 <= x_j <= u_j, u_j possibly infinite). Built for the interval-indexed
+/// minsum LP relaxation (a few hundred rows, a few thousand columns), but a
+/// fully general mini LP solver: <= / >= / = rows, infeasibility and
+/// unboundedness detection, Bland anti-cycling fallback.
+///
+/// The paper solved its relaxation with an unnamed external linear solver;
+/// moldsched has no external dependencies, so the solver is part of the
+/// library (see DESIGN.md §3).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace moldsched {
+
+enum class Relation { LessEq, GreaterEq, Equal };
+
+/// Minimise c^T x subject to the rows and 0 <= x <= upper.
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars
+  /// Upper bounds; use LpProblem::kInfinity for unbounded-above variables.
+  /// Empty vector = all infinite.
+  std::vector<double> upper;
+
+  struct Row {
+    /// Sparse coefficients (var index, value); indices need not be sorted
+    /// but must not repeat.
+    std::vector<std::pair<int, double>> coeffs;
+    Relation rel = Relation::LessEq;
+    double rhs = 0.0;
+  };
+  std::vector<Row> rows;
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Throws std::invalid_argument when shapes/indices are inconsistent.
+  void validate() const;
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;          ///< primal values, size num_vars
+  std::int64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  double pivot_tol = 1e-9;        ///< minimum magnitude of a pivot element
+  double cost_tol = 1e-9;         ///< optimality tolerance on reduced costs
+  double feas_tol = 1e-7;         ///< phase-1 residual tolerance
+  std::int64_t max_iterations = 200000;
+  /// Switch from Dantzig to Bland pricing after this many iterations
+  /// (guarantees termination on degenerate problems).
+  std::int64_t bland_after = 20000;
+};
+
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  const SimplexOptions& options = {});
+
+}  // namespace moldsched

@@ -1,0 +1,18 @@
+/// \file compaction.hpp
+/// The paper's first schedule-improvement step: "start a task at an earlier
+/// time if all the processors it uses are idle". Tasks keep their processor
+/// sets; each is pulled back to the latest finish time of the work that
+/// precedes it on those processors. Passes repeat until a fixpoint.
+
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace moldsched {
+
+/// Pull every placed task as early as possible without changing processor
+/// assignments. Returns the number of tasks that moved. The result is
+/// feasible whenever the input is feasible.
+int pull_forward(Schedule& schedule);
+
+}  // namespace moldsched

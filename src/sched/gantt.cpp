@@ -1,0 +1,60 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strfmt.hpp"
+
+namespace moldsched {
+
+std::string render_gantt(const Schedule& schedule, const GanttOptions& options) {
+  const int m = schedule.procs();
+  const int n = schedule.num_tasks();
+  double horizon = 0.0;
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!schedule.assigned(i)) continue;
+    horizon = std::max(horizon, schedule.placement(i).finish());
+    ++assigned;
+  }
+  if (assigned == 0) return "(empty schedule)\n";
+  if (m > options.max_procs) {
+    return strfmt("(gantt omitted: m=%d > %d; cmax=%.4g, %d tasks)\n", m,
+                  options.max_procs, horizon, assigned);
+  }
+
+  const int width = std::max(options.width, 8);
+  const double scale = static_cast<double>(width) / horizon;
+  std::vector<std::string> rows(static_cast<std::size_t>(m),
+                                std::string(static_cast<std::size_t>(width), '.'));
+  for (int i = 0; i < n; ++i) {
+    if (!schedule.assigned(i)) continue;
+    const Placement& p = schedule.placement(i);
+    auto col0 = static_cast<int>(p.start * scale);
+    auto col1 = static_cast<int>(p.finish() * scale);
+    col0 = std::clamp(col0, 0, width - 1);
+    col1 = std::clamp(col1, col0 + 1, width);
+    const int digit = i % 36;
+    const char c =
+        digit < 10 ? static_cast<char>('0' + digit)
+                   : static_cast<char>('a' + digit - 10);
+    for (int proc : p.procs) {
+      auto& row = rows[static_cast<std::size_t>(proc)];
+      for (int col = col0; col < col1; ++col) {
+        row[static_cast<std::size_t>(col)] = c;
+      }
+    }
+  }
+
+  std::string out;
+  out += strfmt("time 0 .. %.4g (one column = %.4g)\n", horizon,
+                horizon / width);
+  for (int proc = 0; proc < m; ++proc) {
+    out += strfmt("p%02d |", proc);
+    out += rows[static_cast<std::size_t>(proc)];
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,164 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace moldsched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Reservations are modelled as pseudo-jobs pinned to one processor: the
+/// scheduler treats the processor as busy for the interval. They are merged
+/// into the event flow by pre-loading the finish-event queue.
+struct Event {
+  double time;
+  std::vector<int> procs;
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+Schedule list_schedule(int m, int num_tasks, const std::vector<ListJob>& jobs,
+                       const ListScheduleOptions& options) {
+  Schedule schedule(m, num_tasks);
+  std::vector<bool> seen(static_cast<std::size_t>(num_tasks), false);
+  for (const auto& job : jobs) {
+    if (job.task < 0 || job.task >= num_tasks) {
+      throw std::invalid_argument("list_schedule: task index out of range");
+    }
+    if (seen[static_cast<std::size_t>(job.task)]) {
+      throw std::invalid_argument("list_schedule: duplicate task in list");
+    }
+    seen[static_cast<std::size_t>(job.task)] = true;
+    if (job.nprocs < 1 || job.nprocs > m) {
+      throw std::invalid_argument("list_schedule: allotment out of range");
+    }
+    if (!(job.duration > 0.0) || !std::isfinite(job.duration)) {
+      throw std::invalid_argument("list_schedule: bad duration");
+    }
+    if (job.release < 0.0) {
+      throw std::invalid_argument("list_schedule: negative release");
+    }
+  }
+
+  std::vector<bool> idle(static_cast<std::size_t>(m), true);
+  int idle_count = m;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> finish_events;
+
+  // Reservations: mark the processor busy now if the interval has begun, or
+  // schedule a "steal" at its start. To keep the machinery simple we require
+  // reservation intervals not to overlap each other on a processor; the
+  // online simulator guarantees this.
+  struct PendingReservation {
+    double start, finish;
+    int proc;
+  };
+  std::vector<PendingReservation> pending_res;
+  pending_res.reserve(options.reservations.size());
+  for (const auto& r : options.reservations) {
+    if (r.proc < 0 || r.proc >= m || !(r.finish > r.start)) {
+      throw std::invalid_argument("list_schedule: bad reservation");
+    }
+    pending_res.push_back({r.start, r.finish, r.proc});
+  }
+  std::sort(pending_res.begin(), pending_res.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  std::size_t next_res = 0;
+
+  std::vector<ListJob> pending(jobs.begin(), jobs.end());
+  std::vector<bool> done(pending.size(), false);
+  std::size_t remaining = pending.size();
+
+  double now = 0.0;
+  const double tol = 1e-12;
+
+  auto activate_reservations = [&](double t) {
+    while (next_res < pending_res.size() &&
+           pending_res[next_res].start <= t + tol) {
+      const auto& r = pending_res[next_res];
+      // The processor must be idle when the reservation begins; the caller
+      // (online simulator) aligns reservations with idle periods.
+      if (!idle[static_cast<std::size_t>(r.proc)]) {
+        throw std::logic_error(
+            "list_schedule: reservation starts on a busy processor");
+      }
+      idle[static_cast<std::size_t>(r.proc)] = false;
+      --idle_count;
+      finish_events.push(Event{r.finish, {r.proc}});
+      ++next_res;
+    }
+  };
+
+  activate_reservations(now);
+
+  while (remaining > 0) {
+    // Start every pending job that fits, in list order.
+    for (std::size_t j = 0; j < pending.size() && idle_count > 0; ++j) {
+      if (done[j]) continue;
+      const ListJob& job = pending[j];
+      if (job.release > now + tol) continue;
+      if (job.nprocs > idle_count) continue;
+      // Check no reservation begins on a chosen processor before the job
+      // would finish: pick the lowest-numbered idle processors that are
+      // reservation-free for [now, now + duration).
+      std::vector<int> chosen;
+      chosen.reserve(static_cast<std::size_t>(job.nprocs));
+      const double finish = now + job.duration;
+      for (int p = 0; p < m && static_cast<int>(chosen.size()) < job.nprocs;
+           ++p) {
+        if (!idle[static_cast<std::size_t>(p)]) continue;
+        bool blocked = false;
+        for (std::size_t r = next_res; r < pending_res.size(); ++r) {
+          if (pending_res[r].proc == p && pending_res[r].start < finish - tol) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) chosen.push_back(p);
+      }
+      if (static_cast<int>(chosen.size()) < job.nprocs) continue;
+      for (int p : chosen) idle[static_cast<std::size_t>(p)] = false;
+      idle_count -= job.nprocs;
+      schedule.place(job.task, now, job.duration, chosen);
+      finish_events.push(Event{finish, std::move(chosen)});
+      done[j] = true;
+      --remaining;
+    }
+    if (remaining == 0) break;
+
+    // Advance time to the next finish event, job release, or reservation
+    // start.
+    double next_time = kInf;
+    if (!finish_events.empty()) next_time = finish_events.top().time;
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      if (!done[j] && pending[j].release > now + tol) {
+        next_time = std::min(next_time, pending[j].release);
+      }
+    }
+    if (next_res < pending_res.size()) {
+      next_time = std::min(next_time, pending_res[next_res].start);
+    }
+    if (!std::isfinite(next_time) || next_time <= now + tol) {
+      // No event can unblock the remaining jobs: impossible unless a job
+      // needs more processors than will ever be simultaneously free.
+      throw std::logic_error("list_schedule: deadlock (jobs cannot fit)");
+    }
+    now = next_time;
+    while (!finish_events.empty() && finish_events.top().time <= now + tol) {
+      for (int p : finish_events.top().procs) {
+        idle[static_cast<std::size_t>(p)] = true;
+        ++idle_count;
+      }
+      finish_events.pop();
+    }
+    activate_reservations(now);
+  }
+  return schedule;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,49 @@
+/// \file list_scheduler.hpp
+/// Event-driven Graham list scheduling for rigid-allotment jobs (the paper's
+/// reference [11]): whenever processors become idle, the pending list is
+/// scanned in order and every job that fits is started. Used by
+///
+/// * the Sequential and List-Graham baselines,
+/// * DEMT's final compaction pass ("a list algorithm with the batch
+///   ordering"), which re-chooses the processor sets,
+/// * the online batch simulator (jobs carry release dates there).
+
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace moldsched {
+
+/// One entry of the priority list. `task` indexes the instance / schedule;
+/// `nprocs` is the fixed allotment; `duration` its processing time.
+struct ListJob {
+  int task = -1;
+  int nprocs = 1;
+  double duration = 0.0;
+  double release = 0.0;
+};
+
+/// Per-processor busy interval that pre-exists the scheduling pass (node
+/// reservations in the online simulator).
+struct BusyInterval {
+  int proc = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct ListScheduleOptions {
+  /// Busy intervals the scheduler must avoid (default none).
+  std::vector<BusyInterval> reservations;
+};
+
+/// Schedule `jobs` on m processors into a Schedule with `num_tasks` slots
+/// (jobs may cover only a subset of tasks; the rest stay unassigned).
+/// Throws std::invalid_argument when a job needs more than m processors,
+/// has a non-positive duration, or duplicates a task.
+[[nodiscard]] Schedule list_schedule(int m, int num_tasks,
+                                     const std::vector<ListJob>& jobs,
+                                     const ListScheduleOptions& options = {});
+
+}  // namespace moldsched

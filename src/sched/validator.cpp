@@ -1,0 +1,100 @@
+#include "sched/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strfmt.hpp"
+
+namespace moldsched {
+
+ValidationReport validate_schedule(const Schedule& schedule,
+                                   const Instance& instance,
+                                   const ValidationOptions& options) {
+  ValidationReport report;
+  if (schedule.num_tasks() != instance.num_tasks()) {
+    report.fail(strfmt("schedule has %d tasks, instance has %d",
+                       schedule.num_tasks(), instance.num_tasks()));
+    return report;
+  }
+  if (schedule.procs() != instance.procs()) {
+    report.fail(strfmt("schedule has m=%d, instance has m=%d",
+                       schedule.procs(), instance.procs()));
+    return report;
+  }
+  if (!options.releases.empty() &&
+      options.releases.size() != static_cast<std::size_t>(instance.num_tasks())) {
+    report.fail("releases vector size mismatch");
+    return report;
+  }
+
+  const int n = instance.num_tasks();
+  // Per-processor interval lists for the overlap check.
+  struct Interval {
+    double start, finish;
+    int task;
+  };
+  std::vector<std::vector<Interval>> per_proc(
+      static_cast<std::size_t>(schedule.procs()));
+
+  for (int i = 0; i < n; ++i) {
+    if (!schedule.assigned(i)) {
+      report.fail(strfmt("task %d is not assigned", i));
+      continue;
+    }
+    const Placement& p = schedule.placement(i);
+    const MoldableTask& task = instance.task(i);
+    const int k = p.nprocs();
+    if (k < task.min_procs() || k > task.max_procs()) {
+      report.fail(strfmt("task %d allotment %d outside allowed [%d, %d]", i, k,
+                         task.min_procs(), task.max_procs()));
+      continue;
+    }
+    if (options.check_durations &&
+        std::abs(p.duration - task.time(k)) > options.tol) {
+      report.fail(strfmt("task %d duration %.12g != p(%d) = %.12g", i,
+                         p.duration, k, task.time(k)));
+    }
+    if (!options.releases.empty() &&
+        p.start + options.tol < options.releases[static_cast<std::size_t>(i)]) {
+      report.fail(strfmt("task %d starts at %.12g before release %.12g", i,
+                         p.start,
+                         options.releases[static_cast<std::size_t>(i)]));
+    }
+    for (int proc : p.procs) {
+      per_proc[static_cast<std::size_t>(proc)].push_back(
+          Interval{p.start, p.finish(), i});
+    }
+  }
+
+  for (int proc = 0; proc < schedule.procs(); ++proc) {
+    auto& intervals = per_proc[static_cast<std::size_t>(proc)];
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t j = 1; j < intervals.size(); ++j) {
+      if (intervals[j].start + options.tol < intervals[j - 1].finish) {
+        report.fail(strfmt(
+            "processor %d: task %d [%.12g, %.12g) overlaps task %d [%.12g, %.12g)",
+            proc, intervals[j - 1].task, intervals[j - 1].start,
+            intervals[j - 1].finish, intervals[j].task, intervals[j].start,
+            intervals[j].finish));
+      }
+    }
+  }
+  return report;
+}
+
+void require_valid(const Schedule& schedule, const Instance& instance,
+                   const ValidationOptions& options) {
+  const auto report = validate_schedule(schedule, instance, options);
+  if (report.ok) return;
+  std::string message = "invalid schedule:";
+  for (const auto& e : report.errors) {
+    message += "\n  " + e;
+  }
+  throw std::runtime_error(message);
+}
+
+}  // namespace moldsched

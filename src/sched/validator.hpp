@@ -1,0 +1,45 @@
+/// \file validator.hpp
+/// Full feasibility check of a schedule against its instance. Used by every
+/// integration/property test and (in debug builds) by the algorithms
+/// themselves before returning.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tasks/instance.hpp"
+
+namespace moldsched {
+
+struct ValidationOptions {
+  double tol = 1e-9;          ///< tolerance on time comparisons
+  bool check_durations = true;///< duration must equal p(nprocs) of the task
+  /// Optional per-task release dates (empty = all zero): start >= release.
+  std::vector<double> releases;
+};
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+};
+
+/// Checks: every task assigned exactly once; processor ids valid; the
+/// allotment size is allowed for the task (>= min_procs); the duration
+/// matches the task's processing time for that allotment; no two tasks
+/// overlap on any processor; releases respected when provided.
+[[nodiscard]] ValidationReport validate_schedule(
+    const Schedule& schedule, const Instance& instance,
+    const ValidationOptions& options = {});
+
+/// Convenience: throws std::runtime_error with the error list when invalid.
+void require_valid(const Schedule& schedule, const Instance& instance,
+                   const ValidationOptions& options = {});
+
+}  // namespace moldsched

@@ -1,0 +1,163 @@
+#include "sim/divisible.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace moldsched {
+
+namespace {
+
+struct IdleInterval {
+  int proc;
+  double start, finish;
+
+  [[nodiscard]] double length() const noexcept { return finish - start; }
+};
+
+/// Complement of the busy intervals on every processor, clipped to
+/// [0, horizon), sorted by start time (earliest capacity first).
+std::vector<IdleInterval> idle_intervals(const Schedule& schedule,
+                                         double horizon) {
+  const int m = schedule.procs();
+  std::vector<std::vector<std::pair<double, double>>> busy(
+      static_cast<std::size_t>(m));
+  for (int i = 0; i < schedule.num_tasks(); ++i) {
+    if (!schedule.assigned(i)) continue;
+    const Placement& p = schedule.placement(i);
+    for (int proc : p.procs) {
+      busy[static_cast<std::size_t>(proc)].emplace_back(p.start, p.finish());
+    }
+  }
+  std::vector<IdleInterval> idle;
+  for (int proc = 0; proc < m; ++proc) {
+    auto& intervals = busy[static_cast<std::size_t>(proc)];
+    std::sort(intervals.begin(), intervals.end());
+    double cursor = 0.0;
+    for (const auto& [start, finish] : intervals) {
+      if (start > cursor + 1e-12 && cursor < horizon) {
+        idle.push_back(IdleInterval{proc, cursor, std::min(start, horizon)});
+      }
+      cursor = std::max(cursor, finish);
+    }
+    if (cursor < horizon) {
+      idle.push_back(IdleInterval{proc, cursor, horizon});
+    }
+  }
+  std::sort(idle.begin(), idle.end(),
+            [](const IdleInterval& a, const IdleInterval& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.proc < b.proc;
+            });
+  return idle;
+}
+
+}  // namespace
+
+DivisibleFillResult fill_idle_with_divisible(
+    const Schedule& schedule, const std::vector<DivisibleJob>& jobs,
+    double horizon) {
+  if (horizon < 0.0) {
+    throw std::invalid_argument("fill_idle_with_divisible: negative horizon");
+  }
+  for (const auto& job : jobs) {
+    if (!(job.work > 0.0)) {
+      throw std::invalid_argument(
+          "fill_idle_with_divisible: work must be positive");
+    }
+    if (!(job.weight > 0.0)) {
+      throw std::invalid_argument(
+          "fill_idle_with_divisible: weight must be positive");
+    }
+  }
+
+  DivisibleFillResult result;
+  result.completion.assign(jobs.size(), 0.0);
+  result.placed_work.assign(jobs.size(), 0.0);
+
+  auto idle = idle_intervals(schedule, horizon);
+  for (const auto& interval : idle) result.idle_capacity += interval.length();
+
+  // Smith order over the divisible jobs: weight per unit of work,
+  // decreasing. Earliest holes go to the most valuable work.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = jobs[a].weight / jobs[a].work;
+    const double rb = jobs[b].weight / jobs[b].work;
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+
+  for (std::size_t job_index : order) {
+    const double work = jobs[job_index].work;
+
+    // Water-filling: the job finishes earliest at the time T* where the
+    // cumulative idle capacity before T* first reaches `work`. Capacity is
+    // a piecewise-linear increasing function of T whose slope is the number
+    // of holes open at T; sweep its breakpoints.
+    struct Event {
+      double time;
+      int delta;  // +1 hole opens, -1 hole closes
+    };
+    std::vector<Event> events;
+    for (const auto& hole : idle) {
+      if (hole.length() <= 1e-12) continue;
+      events.push_back(Event{hole.start, +1});
+      events.push_back(Event{hole.finish, -1});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.delta < b.delta;  // close before open at equal time
+              });
+    double t_star = -1.0;
+    {
+      double cap = 0.0, t = 0.0;
+      int open = 0;
+      for (const auto& event : events) {
+        if (open > 0 && cap + open * (event.time - t) >= work - 1e-12) {
+          t_star = t + (work - cap) / open;
+          break;
+        }
+        cap += open * (event.time - t);
+        t = event.time;
+        open += event.delta;
+      }
+    }
+
+    if (t_star < 0.0) {
+      // Not enough capacity in the horizon: consume everything and report
+      // the shortfall.
+      result.all_placed = false;
+      double placed = 0.0;
+      for (auto& hole : idle) {
+        if (hole.length() <= 1e-12) continue;
+        result.chunks.push_back(DivisibleChunk{static_cast<int>(job_index),
+                                               hole.proc, hole.start,
+                                               hole.length()});
+        placed += hole.length();
+        hole.start = hole.finish;
+      }
+      result.placed_work[job_index] = placed;
+      continue;
+    }
+
+    // Carve every hole up to T*; partially used holes keep their tails for
+    // the next (less valuable) job.
+    for (auto& hole : idle) {
+      if (hole.start >= t_star || hole.length() <= 1e-12) continue;
+      const double take = std::min(hole.finish, t_star) - hole.start;
+      if (take <= 1e-12) continue;
+      result.chunks.push_back(DivisibleChunk{static_cast<int>(job_index),
+                                             hole.proc, hole.start, take});
+      hole.start += take;
+    }
+    result.placed_work[job_index] = work;
+    result.completion[job_index] = t_star;
+    result.weighted_completion_sum += jobs[job_index].weight * t_star;
+  }
+  return result;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,53 @@
+/// \file divisible.hpp
+/// Divisible-load extension (paper §5: "the mix of different types of jobs
+/// (moldable jobs, rigid jobs, and divisible load jobs)"). A divisible job
+/// is a bag of work that can be split into arbitrarily many independent
+/// chunks — the classic grid filler workload. Given a finished moldable
+/// schedule, the filler pours divisible work into the idle holes without
+/// disturbing a single placed task: per-processor idle intervals are
+/// collected up to a horizon and filled earliest-first, job by job in
+/// Smith order (weight / work decreasing), which minimises the weighted
+/// completion sum among sequential-greedy fills.
+
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace moldsched {
+
+struct DivisibleJob {
+  double work = 0.0;    ///< total processor-time to deliver
+  double weight = 1.0;  ///< priority for the fill order / metrics
+};
+
+/// One contiguous piece of a divisible job on one processor.
+struct DivisibleChunk {
+  int job = -1;
+  int proc = 0;
+  double start = 0.0;
+  double duration = 0.0;
+
+  [[nodiscard]] double finish() const noexcept { return start + duration; }
+};
+
+struct DivisibleFillResult {
+  std::vector<DivisibleChunk> chunks;
+  std::vector<double> completion;      ///< per job; 0 if nothing placed
+  std::vector<double> placed_work;     ///< per job, <= job.work
+  double weighted_completion_sum = 0.0;///< over fully placed jobs
+  bool all_placed = true;              ///< every job fully inside horizon
+  double idle_capacity = 0.0;          ///< total idle area in [0, horizon)
+};
+
+/// Fill the idle holes of `schedule` (must be complete on its own tasks)
+/// with the divisible jobs, never pushing past `horizon`. Holes are the
+/// complement of the schedule's busy intervals on each of its processors,
+/// clipped to [0, horizon). Throws std::invalid_argument on a negative
+/// horizon, non-positive work, or non-positive weight.
+[[nodiscard]] DivisibleFillResult fill_idle_with_divisible(
+    const Schedule& schedule, const std::vector<DivisibleJob>& jobs,
+    double horizon);
+
+}  // namespace moldsched

@@ -1,0 +1,62 @@
+/// \file online.hpp
+/// On-line scheduling by batches (§2.2 and the framework of Shmoys, Wein &
+/// Williamson, the paper's reference [21]): jobs arrive over time; whenever
+/// the machine goes idle, every job released so far is scheduled as one
+/// off-line batch with a pluggable off-line algorithm. If the off-line
+/// algorithm is rho-competitive for Cmax, the batched on-line schedule is
+/// 2*rho-competitive.
+///
+/// Node reservations (paper §5 "reservation of nodes which reduces the size
+/// of the cluster") shrink the set of processors a batch may use: a batch
+/// starting at time s avoids every processor whose reservation window
+/// intersects the batch's execution interval (computed to a fixpoint).
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tasks/instance.hpp"
+#include "tasks/moldable_task.hpp"
+
+namespace moldsched {
+
+struct OnlineJob {
+  MoldableTask task;
+  double release = 0.0;
+};
+
+/// Processor `proc` is unavailable during [start, finish).
+struct NodeReservation {
+  int proc = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Off-line scheduler plug-in: full instance in, complete schedule out.
+using OfflineScheduler = std::function<Schedule(const Instance&)>;
+
+struct OnlineResult {
+  /// Global-time placements, indexed like `jobs`.
+  Schedule schedule;
+  std::vector<double> completion;   ///< per job
+  std::vector<double> flow;         ///< completion - release
+  double cmax = 0.0;
+  double weighted_completion_sum = 0.0;
+  double weighted_flow_sum = 0.0;
+  int num_batches = 0;
+  std::vector<double> batch_starts;
+
+  explicit OnlineResult(int m, int n) : schedule(m, n) {}
+};
+
+/// Run the batch framework. Throws std::invalid_argument on an empty job
+/// list, negative releases, or a job needing more processors than a batch
+/// can ever obtain (m minus permanently reserved).
+[[nodiscard]] OnlineResult online_batch_schedule(
+    int m, const std::vector<OnlineJob>& jobs, const OfflineScheduler& offline,
+    const std::vector<NodeReservation>& reservations = {});
+
+}  // namespace moldsched

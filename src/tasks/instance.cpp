@@ -1,0 +1,98 @@
+#include "tasks/instance.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace moldsched {
+
+Instance::Instance(int m) : m_(m) {
+  if (m < 1) throw std::invalid_argument("Instance: m must be >= 1");
+}
+
+int Instance::add_task(MoldableTask task) {
+  if (task.max_procs() > m_) {
+    throw std::invalid_argument(
+        "Instance::add_task: task defined on more processors than the "
+        "cluster has");
+  }
+  tasks_.push_back(std::move(task));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+double Instance::tmin() const {
+  if (tasks_.empty()) throw std::logic_error("Instance::tmin: no tasks");
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& t : tasks_) best = std::min(best, t.min_time());
+  return best;
+}
+
+double Instance::total_min_work() const noexcept {
+  double sum = 0.0;
+  for (const auto& t : tasks_) sum += t.min_work();
+  return sum;
+}
+
+double Instance::total_weight() const noexcept {
+  double sum = 0.0;
+  for (const auto& t : tasks_) sum += t.weight();
+  return sum;
+}
+
+bool Instance::is_monotone(double tol) const noexcept {
+  for (const auto& t : tasks_) {
+    if (!t.is_time_monotone(tol) || !t.is_work_monotone(tol)) return false;
+  }
+  return true;
+}
+
+// Format:
+//   moldsched-instance v1
+//   m <procs>
+//   n <num_tasks>
+//   task <weight> <min_procs> <max_procs> <p(1)> ... <p(max_procs)>   (n lines)
+void Instance::save(std::ostream& out) const {
+  out << "moldsched-instance v1\n";
+  out << "m " << m_ << "\n";
+  out << "n " << tasks_.size() << "\n";
+  out.precision(17);
+  for (const auto& t : tasks_) {
+    out << "task " << t.weight() << ' ' << t.min_procs() << ' '
+        << t.max_procs();
+    for (int k = 1; k <= t.max_procs(); ++k) out << ' ' << t.time(k);
+    out << '\n';
+  }
+}
+
+Instance Instance::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "moldsched-instance" || version != "v1") {
+    throw std::runtime_error("Instance::load: bad header");
+  }
+  std::string key;
+  int m = 0;
+  std::size_t n = 0;
+  in >> key >> m;
+  if (key != "m") throw std::runtime_error("Instance::load: expected 'm'");
+  in >> key >> n;
+  if (key != "n") throw std::runtime_error("Instance::load: expected 'n'");
+  Instance instance(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    double weight = 0.0;
+    int min_procs = 0, max_procs = 0;
+    in >> key >> weight >> min_procs >> max_procs;
+    if (key != "task" || !in) {
+      throw std::runtime_error("Instance::load: bad task record");
+    }
+    std::vector<double> times(static_cast<std::size_t>(max_procs));
+    for (auto& t : times) in >> t;
+    if (!in) throw std::runtime_error("Instance::load: truncated task times");
+    instance.add_task(MoldableTask(std::move(times), weight, min_procs));
+  }
+  return instance;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace moldsched {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      options_.emplace(std::string(arg.substr(0, eq)),
+                       std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--key value` when the next token is not itself an option; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      options_.emplace(std::string(arg), std::string(argv[i + 1]));
+      ++i;
+    } else {
+      options_.emplace(std::string(arg), std::string());
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::raw(std::string_view name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ArgParser::has(std::string_view name) const {
+  return options_.find(name) != options_.end();
+}
+
+std::string ArgParser::get_string(std::string_view name, std::string def) const {
+  auto v = raw(name);
+  return v ? *v : def;
+}
+
+std::int64_t ArgParser::get_int(std::string_view name, std::int64_t def) const {
+  auto v = raw(name);
+  if (!v || v->empty()) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(std::string_view name, double def) const {
+  auto v = raw(name);
+  if (!v || v->empty()) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(std::string_view name, bool def) const {
+  auto v = raw(name);
+  if (!v) return def;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on")
+    return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("bad boolean for --" + std::string(name) + ": " +
+                              *v);
+}
+
+std::vector<int> ArgParser::get_int_list(std::string_view name,
+                                         std::vector<int> def) const {
+  auto v = raw(name);
+  if (!v || v->empty()) return def;
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < v->size()) {
+    auto comma = v->find(',', pos);
+    if (comma == std::string::npos) comma = v->size();
+    out.push_back(std::atoi(v->substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,47 @@
+/// \file cli.hpp
+/// Tiny command-line parser shared by the bench harnesses and examples.
+/// Supports `--key value`, `--key=value` and boolean `--flag` forms.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moldsched {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True when `--name` was given (with or without a value).
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string def) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(std::string_view name, double def) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool def) const;
+
+  /// Comma-separated integer list, e.g. `--sizes 25,50,100`.
+  [[nodiscard]] std::vector<int> get_int_list(std::string_view name,
+                                              std::vector<int> def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(std::string_view name) const;
+
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace moldsched

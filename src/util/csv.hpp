@@ -1,0 +1,32 @@
+/// \file csv.hpp
+/// Minimal RFC-4180-style CSV writer used by the experiment harness to dump
+/// figure series for external plotting.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moldsched {
+
+/// Streams rows to an std::ostream, quoting fields when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row; each element becomes one field.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: header row.
+  void header(const std::vector<std::string>& names) { row(names); }
+
+  /// Quote a single field per RFC 4180 (exposed for testing).
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace moldsched

@@ -1,0 +1,54 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace moldsched {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Lemire's method: multiply-shift with a rejection step for exactness.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::gaussian() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box–Muller: generate a pair, keep one as spare.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();  // log(0) guard
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  spare_ = r * std::sin(two_pi * u2);
+  has_spare_ = true;
+  return r * std::cos(two_pi * u2);
+}
+
+double Rng::truncated_gaussian(double mean, double sd, double lo,
+                               double hi) noexcept {
+  // Rejection sampling, exactly as the paper describes. For the paper's
+  // parameters (e.g. N(0.9, 0.2) on [0,1]) acceptance is high; the iteration
+  // cap is a safety net for degenerate arguments and falls back to clamping.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double x = gaussian(mean, sd);
+    if (x >= lo && x <= hi) return x;
+  }
+  const double x = gaussian(mean, sd);
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace moldsched

@@ -1,0 +1,14 @@
+/// \file strfmt.hpp
+/// printf-style std::string formatting (libstdc++ 12 has no std::format).
+
+#pragma once
+
+#include <string>
+
+namespace moldsched {
+
+/// Format into a std::string using printf semantics.
+[[nodiscard]] std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace moldsched

@@ -1,0 +1,81 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace moldsched {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& f) {
+  if (begin >= end) return;
+  // Dynamic scheduling through a shared atomic index: run durations vary a
+  // lot (the LP solve dominates some runs), so static chunking would idle
+  // workers.
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t n_workers = std::min<std::size_t>(size(), end - begin);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    futures.push_back(submit([next, end, &f] {
+      for (std::size_t i = next->fetch_add(1); i < end;
+           i = next->fetch_add(1)) {
+        f(i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions captured by the packaged_task
+  }
+}
+
+}  // namespace moldsched

@@ -1,0 +1,52 @@
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a blocking parallel_for. The experiment
+/// harness runs the 40 simulation runs of each figure point concurrently;
+/// each run owns a forked RNG stream so results are independent of the
+/// worker count.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moldsched {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (defaults to the hardware concurrency, at
+  /// least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future reports completion and re-throws any
+  /// exception the task raised.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run f(i) for i in [begin, end) across the pool and wait. Exceptions
+  /// from the body are collected and the first one re-thrown.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& f);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace moldsched

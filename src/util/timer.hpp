@@ -1,0 +1,26 @@
+/// \file timer.hpp
+/// Wall-clock stopwatch for the Figure-7 runtime measurements.
+
+#pragma once
+
+#include <chrono>
+
+namespace moldsched {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace moldsched

@@ -1,0 +1,107 @@
+#include "workloads/generators.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "workloads/speedup_models.hpp"
+
+namespace moldsched {
+
+std::string_view family_name(WorkloadFamily family) {
+  switch (family) {
+    case WorkloadFamily::WeaklyParallel: return "weakly";
+    case WorkloadFamily::HighlyParallel: return "highly";
+    case WorkloadFamily::Mixed: return "mixed";
+    case WorkloadFamily::Cirne: return "cirne";
+  }
+  return "?";
+}
+
+WorkloadFamily parse_family(std::string_view name) {
+  if (name == "weakly") return WorkloadFamily::WeaklyParallel;
+  if (name == "highly") return WorkloadFamily::HighlyParallel;
+  if (name == "mixed") return WorkloadFamily::Mixed;
+  if (name == "cirne") return WorkloadFamily::Cirne;
+  throw std::invalid_argument("unknown workload family: " + std::string(name));
+}
+
+const std::vector<WorkloadFamily>& all_families() {
+  static const std::vector<WorkloadFamily> families = {
+      WorkloadFamily::WeaklyParallel, WorkloadFamily::HighlyParallel,
+      WorkloadFamily::Mixed, WorkloadFamily::Cirne};
+  return families;
+}
+
+namespace {
+
+MoldableTask make_recurrence_task(double seq, double weight, int m,
+                                  const RecurrenceParams& params, Rng& rng) {
+  MoldableTask task(recurrence_times(seq, m, params, rng), weight);
+  task.enforce_monotonicity();  // numerical safety; construction is monotone
+  return task;
+}
+
+MoldableTask make_cirne_task(double seq, double weight, int m,
+                             const GeneratorConfig& config, Rng& rng) {
+  // Downey parameters: average parallelism log-uniform over [1, m],
+  // variance uniform over [0, cirne_sigma_hi].
+  const double log2_a = rng.uniform(0.0, std::log2(static_cast<double>(m)));
+  const double a = std::exp2(log2_a);
+  const double sigma = rng.uniform(0.0, config.cirne_sigma_hi);
+  MoldableTask task(downey_times(seq, m, a, sigma), weight);
+  task.enforce_monotonicity();  // Downey curves can violate work-monotony
+                                // marginally at the saturation knee
+  return task;
+}
+
+}  // namespace
+
+Instance generate_instance(WorkloadFamily family, int n, int m, Rng& rng,
+                           const GeneratorConfig& config) {
+  if (n < 1) throw std::invalid_argument("generate_instance: n < 1");
+  if (m < 1) throw std::invalid_argument("generate_instance: m < 1");
+  Instance instance(m);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const double weight = rng.uniform(config.weight_lo, config.weight_hi);
+    switch (family) {
+      case WorkloadFamily::WeaklyParallel: {
+        const double seq = rng.uniform(config.seq_lo, config.seq_hi);
+        instance.add_task(
+            make_recurrence_task(seq, weight, m, kWeaklyParallel, rng));
+        break;
+      }
+      case WorkloadFamily::HighlyParallel: {
+        const double seq = rng.uniform(config.seq_lo, config.seq_hi);
+        instance.add_task(
+            make_recurrence_task(seq, weight, m, kHighlyParallel, rng));
+        break;
+      }
+      case WorkloadFamily::Mixed: {
+        // 70% small N(1, 0.5) weakly parallel, 30% large N(10, 5) highly
+        // parallel; gaussians truncated below at seq_floor to stay positive.
+        if (rng.bernoulli(config.mixed_small_frac)) {
+          const double seq = rng.truncated_gaussian(
+              config.small_mean, config.small_sd, config.seq_floor, kInf);
+          instance.add_task(
+              make_recurrence_task(seq, weight, m, kWeaklyParallel, rng));
+        } else {
+          const double seq = rng.truncated_gaussian(
+              config.large_mean, config.large_sd, config.seq_floor, kInf);
+          instance.add_task(
+              make_recurrence_task(seq, weight, m, kHighlyParallel, rng));
+        }
+        break;
+      }
+      case WorkloadFamily::Cirne: {
+        const double seq = rng.uniform(config.seq_lo, config.seq_hi);
+        instance.add_task(make_cirne_task(seq, weight, m, config, rng));
+        break;
+      }
+    }
+  }
+  return instance;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,53 @@
+/// \file generators.hpp
+/// The four workload families of the paper's evaluation (§4.1). All runs in
+/// the paper use m = 200 processors, n in 25..400 tasks, task weights
+/// uniform in [1, 10].
+///
+/// * WeaklyParallel — sequential time U(1,10), recurrence X ~ N(0.1, 0.2);
+/// * HighlyParallel — sequential time U(1,10), recurrence X ~ N(0.9, 0.2);
+/// * Mixed — 70% "small" tasks N(1, 0.5) that are weakly parallel and 30%
+///   "large" tasks N(10, 5) that are highly parallel;
+/// * Cirne — Cirne–Berman moldable jobs: sequential time U(1,10) and Downey
+///   speedup curves. The original model's survey-fitted constants are not
+///   public; we draw log2(A) ~ U(0, log2 m) and sigma ~ U(0, 2)
+///   (substitution documented in DESIGN.md §3).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tasks/instance.hpp"
+#include "util/rng.hpp"
+
+namespace moldsched {
+
+enum class WorkloadFamily { WeaklyParallel, HighlyParallel, Mixed, Cirne };
+
+[[nodiscard]] std::string_view family_name(WorkloadFamily family);
+[[nodiscard]] WorkloadFamily parse_family(std::string_view name);
+[[nodiscard]] const std::vector<WorkloadFamily>& all_families();
+
+/// Tunable generator constants; the defaults reproduce the paper.
+struct GeneratorConfig {
+  double weight_lo = 1.0;       ///< task priority lower bound
+  double weight_hi = 10.0;      ///< task priority upper bound
+  double seq_lo = 1.0;          ///< uniform sequential time lower bound
+  double seq_hi = 10.0;         ///< uniform sequential time upper bound
+  double mixed_small_frac = 0.7;///< fraction of small tasks in Mixed
+  double small_mean = 1.0;      ///< small-task gaussian mean
+  double small_sd = 0.5;        ///< small-task gaussian sd
+  double large_mean = 10.0;     ///< large-task gaussian mean
+  double large_sd = 5.0;        ///< large-task gaussian sd
+  double seq_floor = 0.05;      ///< positivity floor for gaussian seq times
+  double cirne_sigma_hi = 2.0;  ///< Downey variance upper bound
+};
+
+/// Generate an n-task instance of the given family on an m-processor
+/// cluster. Deterministic in (family, n, m, rng state, config).
+[[nodiscard]] Instance generate_instance(WorkloadFamily family, int n, int m,
+                                         Rng& rng,
+                                         const GeneratorConfig& config = {});
+
+}  // namespace moldsched

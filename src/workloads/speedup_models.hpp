@@ -1,0 +1,48 @@
+/// \file speedup_models.hpp
+/// Parallelism models used by the paper's workload generators (§4.1):
+///
+/// * the step recurrence with X drawn from a truncated gaussian — "highly
+///   parallel" (X ~ N(0.9, 0.2)) gives quasi-linear speedup (~k^X),
+///   "weakly parallel" (X ~ N(0.1, 0.2)) speedup close to 1. We implement
+///   the step ratio as ((1-X)+j)/(1+j): the paper's printed formula
+///   (X+j)/(1+j) inverts its own described semantics — see DESIGN.md §3.
+///   The construction is monotone by design;
+/// * Downey's speedup curves (A = average parallelism, sigma = variance of
+///   parallelism), the parallelism component of the Cirne–Berman moldable
+///   job model (paper reference [5]).
+
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moldsched {
+
+/// Gaussian parameters for one draw of the recurrence variable X,
+/// truncated to [0, 1] by rejection (paper: out-of-range draws are
+/// "ignored and recomputed").
+struct RecurrenceParams {
+  double mean;
+  double sd = 0.2;
+};
+
+/// Paper presets.
+inline constexpr RecurrenceParams kHighlyParallel{0.9, 0.2};
+inline constexpr RecurrenceParams kWeaklyParallel{0.1, 0.2};
+
+/// Generate the full time vector p(1..m) with the paper's recurrence;
+/// p(1) = seq_time, X redrawn for every step j.
+[[nodiscard]] std::vector<double> recurrence_times(double seq_time, int m,
+                                                   const RecurrenceParams& params,
+                                                   Rng& rng);
+
+/// Downey's speedup S(n) for average parallelism A >= 1 and variance
+/// sigma >= 0. Continuous in n; S(1) = 1; saturates at A.
+[[nodiscard]] double downey_speedup(double n, double A, double sigma);
+
+/// Time vector derived from Downey's model: p(k) = seq_time / S(k).
+[[nodiscard]] std::vector<double> downey_times(double seq_time, int m, double A,
+                                               double sigma);
+
+}  // namespace moldsched

@@ -1,0 +1,58 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moldsched {
+namespace {
+
+TEST(Gantt, EmptySchedule) {
+  Schedule schedule(2, 0);
+  EXPECT_EQ(render_gantt(schedule), "(empty schedule)\n");
+}
+
+TEST(Gantt, RendersOneRowPerProcessor) {
+  Schedule schedule(3, 2);
+  schedule.place(0, 0.0, 2.0, {0, 1});
+  schedule.place(1, 2.0, 2.0, {2});
+  const std::string out = render_gantt(schedule);
+  // Header + 3 processor rows.
+  int rows = 0;
+  for (char c : out) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+  EXPECT_NE(out.find("p00 |"), std::string::npos);
+  EXPECT_NE(out.find("p02 |"), std::string::npos);
+}
+
+TEST(Gantt, TaskCharactersAppearOnTheirProcessors) {
+  Schedule schedule(2, 2);
+  schedule.place(0, 0.0, 1.0, {0});
+  schedule.place(1, 0.0, 1.0, {1});
+  const std::string out = render_gantt(schedule);
+  const auto p0 = out.find("p00 |");
+  const auto p1 = out.find("p01 |");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  EXPECT_EQ(out[p0 + 5], '0');
+  EXPECT_EQ(out[p1 + 5], '1');
+}
+
+TEST(Gantt, WideClustersAreSummarised) {
+  Schedule schedule(100, 1);
+  schedule.place(0, 0.0, 1.0, {0});
+  const std::string out = render_gantt(schedule);
+  EXPECT_NE(out.find("gantt omitted"), std::string::npos);
+}
+
+TEST(Gantt, IdleTimeIsDotted) {
+  Schedule schedule(1, 1);
+  schedule.place(0, 9.0, 1.0, {0});  // long leading idle period
+  GanttOptions options;
+  options.width = 10;
+  const std::string out = render_gantt(schedule, options);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moldsched

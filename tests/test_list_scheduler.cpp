@@ -1,0 +1,136 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/validator.hpp"
+
+namespace moldsched {
+namespace {
+
+TEST(ListScheduler, SingleJob) {
+  const Schedule schedule = list_schedule(4, 1, {{0, 2, 3.0, 0.0}});
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_EQ(schedule.placement(0).nprocs(), 2);
+  EXPECT_DOUBLE_EQ(schedule.cmax(), 3.0);
+}
+
+TEST(ListScheduler, PacksGreedilyAtTimeZero) {
+  // Three 2-proc jobs on 4 procs: two start immediately, third waits.
+  const Schedule schedule = list_schedule(
+      4, 3, {{0, 2, 5.0, 0.0}, {1, 2, 3.0, 0.0}, {2, 2, 4.0, 0.0}});
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.placement(1).start, 0.0);
+  // Job 2 starts when job 1 (the shorter) finishes.
+  EXPECT_DOUBLE_EQ(schedule.placement(2).start, 3.0);
+  EXPECT_DOUBLE_EQ(schedule.cmax(), 7.0);
+}
+
+TEST(ListScheduler, LaterListEntryCanBackfill) {
+  // Graham list behaviour: job 1 needs 3 procs (can't fit at t=0 next to
+  // job 0 on 4 procs), job 2 needs 1 proc and jumps ahead.
+  const Schedule schedule = list_schedule(
+      4, 3, {{0, 2, 4.0, 0.0}, {1, 3, 2.0, 0.0}, {2, 1, 1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.placement(2).start, 0.0);  // backfilled
+  EXPECT_DOUBLE_EQ(schedule.placement(1).start, 4.0);
+}
+
+TEST(ListScheduler, RespectsReleaseDates) {
+  const Schedule schedule =
+      list_schedule(2, 2, {{0, 1, 2.0, 5.0}, {1, 1, 1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 5.0);
+  EXPECT_DOUBLE_EQ(schedule.placement(1).start, 0.0);
+}
+
+TEST(ListScheduler, SequentialWhenMachineIsFull) {
+  const Schedule schedule =
+      list_schedule(2, 3, {{0, 2, 1.0, 0.0}, {1, 2, 1.0, 0.0}, {2, 2, 1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.placement(1).start, 1.0);
+  EXPECT_DOUBLE_EQ(schedule.placement(2).start, 2.0);
+}
+
+TEST(ListScheduler, ProducesValidSchedules) {
+  Instance instance(8);
+  std::vector<ListJob> jobs;
+  for (int i = 0; i < 20; ++i) {
+    const int procs = 1 + (i * 7) % 5;
+    const double duration = 1.0 + (i % 4);
+    std::vector<double> times(8, duration);
+    // Build an instance whose p(k) equals the job duration for every k so
+    // the duration check passes regardless of the allotment.
+    instance.add_task(MoldableTask(std::move(times), 1.0));
+    jobs.push_back(ListJob{i, procs, duration, 0.0});
+  }
+  const Schedule schedule = list_schedule(8, 20, jobs);
+  ValidationOptions options;
+  options.check_durations = false;
+  const auto report = validate_schedule(schedule, instance, options);
+  EXPECT_TRUE(report.ok) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(ListScheduler, GrahamBoundHolds) {
+  // Classic Graham guarantee for sequential jobs: cmax <= (2 - 1/m) * opt.
+  // Build random-ish 1-proc jobs and check against the area/longest bound.
+  std::vector<ListJob> jobs;
+  double total = 0.0, longest = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double d = 0.5 + (i * 37 % 11);
+    jobs.push_back(ListJob{i, 1, d, 0.0});
+    total += d;
+    longest = std::max(longest, d);
+  }
+  const int m = 7;
+  const Schedule schedule = list_schedule(m, 50, jobs);
+  const double lb = std::max(longest, total / m);
+  EXPECT_LE(schedule.cmax(), (2.0 - 1.0 / m) * lb + 1e-9);
+}
+
+TEST(ListScheduler, Validation) {
+  EXPECT_THROW(list_schedule(2, 1, {{0, 3, 1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(2, 1, {{0, 0, 1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(2, 1, {{0, 1, 0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(2, 1, {{0, 1, 1.0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(2, 1, {{2, 1, 1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(list_schedule(2, 2, {{0, 1, 1.0, 0.0}, {0, 1, 1.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(ListScheduler, PartialJobListLeavesOthersUnassigned) {
+  const Schedule schedule = list_schedule(2, 5, {{3, 1, 2.0, 0.0}});
+  EXPECT_TRUE(schedule.assigned(3));
+  EXPECT_FALSE(schedule.assigned(0));
+  EXPECT_FALSE(schedule.assigned(4));
+}
+
+TEST(ListScheduler, ReservationBlocksProcessor) {
+  // Processor 0 reserved [0, 10): a 1-proc job must use processor 1.
+  ListScheduleOptions options;
+  options.reservations = {{0, 0.0, 10.0}};
+  const Schedule schedule = list_schedule(2, 1, {{0, 1, 2.0, 0.0}}, options);
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_EQ(schedule.placement(0).procs[0], 1);
+}
+
+TEST(ListScheduler, ReservationDelaysWideJob) {
+  // Both procs needed but proc 1 reserved [0, 4): job waits until 4.
+  ListScheduleOptions options;
+  options.reservations = {{1, 0.0, 4.0}};
+  const Schedule schedule = list_schedule(2, 1, {{0, 2, 1.0, 0.0}}, options);
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 4.0);
+}
+
+TEST(ListScheduler, UpcomingReservationStopsLongJob) {
+  // Proc 0 reserved [3, 5). A job of length 4 cannot use proc 0 at t=0
+  // (it would collide at t=3) and must take proc 1.
+  ListScheduleOptions options;
+  options.reservations = {{0, 3.0, 5.0}};
+  const Schedule schedule = list_schedule(2, 1, {{0, 1, 4.0, 0.0}}, options);
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_EQ(schedule.placement(0).procs[0], 1);
+}
+
+}  // namespace
+}  // namespace moldsched

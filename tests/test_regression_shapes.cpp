@@ -1,0 +1,120 @@
+/// Small-scale regression checks of the paper's qualitative claims — the
+/// same comparisons the figures make, pinned to fixed seeds and generous
+/// margins so they are deterministic and fast. Full-scale numbers live in
+/// the bench binaries; these tests keep the *shapes* from silently
+/// regressing.
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace moldsched {
+namespace {
+
+PointResult point(WorkloadFamily family, int n, int runs = 4, int m = 64) {
+  PointConfig config;
+  config.family = family;
+  config.n = n;
+  config.m = m;
+  config.runs = runs;
+  config.seed = 20040627;
+  return run_point(config, standard_algorithms());
+}
+
+double minsum(const PointResult& r, const std::string& name) {
+  return r.stats.at(name).minsum_ratio.ratio();
+}
+double cmax(const PointResult& r, const std::string& name) {
+  return r.stats.at(name).cmax_ratio.ratio();
+}
+
+TEST(Shapes, HighlyParallelDemtBestOnMinsumAtScale) {
+  // Paper Fig. 4: "On the minsum criterion, our algorithm is clearly the
+  // best one" (at moderate-to-large n; Gang competes only at small n).
+  const auto r = point(WorkloadFamily::HighlyParallel, 120);
+  EXPECT_LT(minsum(r, "DEMT"), minsum(r, "Gang"));
+  EXPECT_LT(minsum(r, "DEMT"), minsum(r, "Sequential"));
+  EXPECT_LT(minsum(r, "DEMT"), minsum(r, "List"));
+}
+
+TEST(Shapes, HighlyParallelGangDegradesWithN) {
+  // Paper Fig. 4: Gang good with few tasks, bad with many.
+  const auto small = point(WorkloadFamily::HighlyParallel, 16);
+  const auto large = point(WorkloadFamily::HighlyParallel, 160);
+  EXPECT_LT(minsum(small, "Gang"), minsum(large, "Gang"));
+  EXPECT_GT(minsum(large, "Gang"), minsum(large, "DEMT"));
+}
+
+TEST(Shapes, SequentialImprovesWithN) {
+  // Paper Fig. 4: "sequential good for a large number of tasks only".
+  const auto small = point(WorkloadFamily::HighlyParallel, 16);
+  const auto large = point(WorkloadFamily::HighlyParallel, 160);
+  EXPECT_GT(minsum(small, "Sequential"), minsum(large, "Sequential"));
+}
+
+TEST(Shapes, WeaklyParallelDemtBoundedByTwoIsh) {
+  // Paper Fig. 3: the worst case for DEMT, yet "the performance ratio for
+  // Cmax is no more than 2" (small-m noise allowed for in the margin).
+  const auto r = point(WorkloadFamily::WeaklyParallel, 120);
+  EXPECT_LE(cmax(r, "DEMT"), 2.4);
+  EXPECT_LE(minsum(r, "DEMT"), 3.0);
+}
+
+TEST(Shapes, WeaklyParallelListFamilyNearOnCmax) {
+  // Paper Fig. 3: the list algorithms sit around 1.5 on Cmax, clearly
+  // better than DEMT there.
+  const auto r = point(WorkloadFamily::WeaklyParallel, 120);
+  EXPECT_LE(cmax(r, "List"), 1.8);
+  EXPECT_LE(cmax(r, "LPTF"), 1.8);
+  EXPECT_LE(cmax(r, "SAF"), 1.8);
+  EXPECT_GE(cmax(r, "DEMT"), cmax(r, "List") - 0.2);
+}
+
+TEST(Shapes, MixedSafCompetitiveOnMinsum) {
+  // Paper Fig. 5: "SAF is better than our algorithm" on mixed instances.
+  const auto r = point(WorkloadFamily::Mixed, 120);
+  EXPECT_LE(minsum(r, "SAF"), minsum(r, "DEMT") * 1.15);
+  // And DEMT stays stable around 2 on both criteria.
+  EXPECT_LE(minsum(r, "DEMT"), 3.0);
+  EXPECT_LE(cmax(r, "DEMT"), 2.6);
+}
+
+TEST(Shapes, CirneDemtOutperformsOnMinsum) {
+  // Paper Fig. 6: "our algorithm clearly outperforms the other ones for
+  // the minsum criterion" on the realistic workload.
+  const auto r = point(WorkloadFamily::Cirne, 120);
+  for (const char* name : {"Gang", "Sequential", "List", "LPTF"}) {
+    EXPECT_LT(minsum(r, "DEMT"), minsum(r, name)) << name;
+  }
+}
+
+TEST(Shapes, ListAllotmentsKeepCmaxBelowTwoOnParallelWork) {
+  // Paper §4.2: "the allotment computed for list algorithms is quite good,
+  // as Cmax performance ratio of these algorithms is always smaller than 2".
+  const auto r = point(WorkloadFamily::HighlyParallel, 120);
+  EXPECT_LT(cmax(r, "List"), 2.0);
+  EXPECT_LT(cmax(r, "LPTF"), 2.0);
+  EXPECT_LT(cmax(r, "SAF"), 2.0);
+}
+
+TEST(Shapes, GangOffTheChartOnWeaklyParallelCmax) {
+  // Paper Fig. 3: "Gang scheduling does not appear in the presented range
+  // for Cmax" — weakly parallel tasks waste almost the whole machine.
+  const auto r = point(WorkloadFamily::WeaklyParallel, 60, 3);
+  EXPECT_GT(cmax(r, "Gang"), 3.5);
+}
+
+TEST(Shapes, MinsumRatiosNeverBelowOne) {
+  for (auto family : all_families()) {
+    const auto r = point(family, 40, 3, 32);
+    for (const auto& name : r.algorithm_order) {
+      EXPECT_GE(r.stats.at(name).minsum_ratio.min_ratio(), 1.0 - 1e-6)
+          << family_name(family) << "/" << name;
+      EXPECT_GE(r.stats.at(name).cmax_ratio.min_ratio(), 1.0 - 1e-6)
+          << family_name(family) << "/" << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moldsched

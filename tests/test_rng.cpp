@@ -1,0 +1,190 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace moldsched {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(2.5, 9.75);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 9.75);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform(1.0, 10.0);
+  EXPECT_NEAR(sum / trials, 5.5, 0.05);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(11);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  // lo >= hi falls back to lo.
+  EXPECT_EQ(rng.uniform_int(9, 2), 9);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 100);
+  }
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.gaussian(2.0, 3.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / trials;
+  const double var = sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, TruncatedGaussianStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.truncated_gaussian(0.9, 0.2, 0.0, 1.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, TruncatedGaussianMatchesPaperWeakPreset) {
+  // N(0.1, 0.2) truncated to [0,1] has mean around 0.17 (mass below 0 is
+  // folded back by rejection).
+  Rng rng(23);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    sum += rng.truncated_gaussian(0.1, 0.2, 0.0, 1.0);
+  }
+  const double mean = sum / trials;
+  EXPECT_GT(mean, 0.10);
+  EXPECT_LT(mean, 0.25);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState) {
+  Rng p1(77), p2(77);
+  Rng c1 = p1.fork(5);
+  Rng c2 = p2.fork(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::multiset<int> sv(v.begin(), v.end()), sw(w.begin(), w.end());
+  EXPECT_EQ(sv, sw);
+}
+
+TEST(Rng, ShuffleUniformityOnThreeElements) {
+  // All 6 permutations of {0,1,2} should appear with roughly equal
+  // frequency.
+  Rng rng(43);
+  std::map<std::vector<int>, int> counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<int> v{0, 1, 2};
+    rng.shuffle(v);
+    ++counts[v];
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(count, trials / 6, trials / 30);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(47);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.7)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.7, 0.01);
+}
+
+TEST(Xoshiro, KnownRangeAndNonZero) {
+  Xoshiro256pp engine(0);  // seed 0 must still produce a non-trivial stream
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) {
+    if (engine() != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace moldsched

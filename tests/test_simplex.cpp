@@ -1,0 +1,252 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace moldsched {
+namespace {
+
+TEST(Simplex, TrivialUnconstrainedMinimumAtLowerBounds) {
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {1.0, 2.0, 3.0};
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, 0.0);
+}
+
+TEST(Simplex, NegativeCostsDriveToUpperBounds) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -2.0};
+  lp.upper = {3.0, 4.0};
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, -11.0);
+  EXPECT_DOUBLE_EQ(solution.x[0], 3.0);
+  EXPECT_DOUBLE_EQ(solution.x[1], 4.0);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // min -x - y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0.
+  // Optimum at intersection: x = 8/5, y = 6/5, objective -14/5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 2.0}}, Relation::LessEq, 4.0});
+  lp.rows.push_back({{{0, 3.0}, {1, 1.0}}, Relation::LessEq, 6.0});
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_NEAR(solution.objective, -14.0 / 5.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 8.0 / 5.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0 / 5.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqAndEqualityRows) {
+  // min 2x + 3y s.t. x + y >= 4, x - y = 1, x,y >= 0.
+  // => x = 2.5, y = 1.5, objective 9.5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, Relation::GreaterEq, 4.0});
+  lp.rows.push_back({{{0, 1.0}, {1, -1.0}}, Relation::Equal, 1.0});
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_NEAR(solution.objective, 9.5, 1e-9);
+  EXPECT_NEAR(solution.x[0], 2.5, 1e-9);
+  EXPECT_NEAR(solution.x[1], 1.5, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 3 cannot hold together.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.rows.push_back({{{0, 1.0}}, Relation::LessEq, 1.0});
+  lp.rows.push_back({{{0, 1.0}}, Relation::GreaterEq, 3.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, UpperBoundsCanMakeInfeasible) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 0.0};
+  lp.upper = {1.0, 1.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, Relation::GreaterEq, 3.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with x free above.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedAboveIsNotUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.upper = {7.5};
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_DOUBLE_EQ(solution.objective, -7.5);
+}
+
+TEST(Simplex, NegativeRhsRowsHandled) {
+  // x - y <= -2 (i.e. y >= x + 2), min y => x=0, y=2.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 1.0};
+  lp.rows.push_back({{{0, 1.0}, {1, -1.0}}, Relation::LessEq, -2.0});
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_NEAR(solution.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.rows.push_back({{{0, 1.0}}, Relation::LessEq, 1.0});
+  lp.rows.push_back({{{0, 1.0}, {1, 0.0}}, Relation::LessEq, 1.0});
+  lp.rows.push_back({{{0, 2.0}}, Relation::LessEq, 2.0});
+  lp.rows.push_back({{{1, 1.0}}, Relation::LessEq, 1.0});
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_NEAR(solution.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, TransportationLikeProblem) {
+  // Two suppliers (cap 10, 20), two consumers (demand 15 each), unit costs
+  // c = [[1, 4], [2, 1]]. Optimum: supplier0 -> consumer0 (10),
+  // supplier1 -> consumer0 (5), supplier1 -> consumer1 (15): cost 35.
+  LpProblem lp;
+  lp.num_vars = 4;  // x00 x01 x10 x11
+  lp.objective = {1.0, 4.0, 2.0, 1.0};
+  lp.rows.push_back({{{0, 1.0}, {1, 1.0}}, Relation::LessEq, 10.0});
+  lp.rows.push_back({{{2, 1.0}, {3, 1.0}}, Relation::LessEq, 20.0});
+  lp.rows.push_back({{{0, 1.0}, {2, 1.0}}, Relation::GreaterEq, 15.0});
+  lp.rows.push_back({{{1, 1.0}, {3, 1.0}}, Relation::GreaterEq, 15.0});
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::Optimal);
+  EXPECT_NEAR(solution.objective, 35.0, 1e-8);
+}
+
+TEST(Simplex, RandomLpsSatisfyConstraintsAtOptimum) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    LpProblem lp;
+    lp.num_vars = 5;
+    lp.objective.resize(5);
+    lp.upper.assign(5, 10.0);
+    for (auto& c : lp.objective) c = rng.uniform(-2.0, 2.0);
+    for (int r = 0; r < 4; ++r) {
+      LpProblem::Row row;
+      for (int j = 0; j < 5; ++j) {
+        row.coeffs.emplace_back(j, rng.uniform(0.0, 1.0));
+      }
+      row.rel = Relation::LessEq;
+      row.rhs = rng.uniform(5.0, 15.0);
+      lp.rows.push_back(std::move(row));
+    }
+    const auto solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, LpStatus::Optimal) << "trial " << trial;
+    for (const auto& row : lp.rows) {
+      double lhs = 0.0;
+      for (const auto& [j, v] : row.coeffs) {
+        lhs += v * solution.x[static_cast<std::size_t>(j)];
+      }
+      EXPECT_LE(lhs, row.rhs + 1e-6);
+    }
+    for (double x : solution.x) {
+      EXPECT_GE(x, -1e-9);
+      EXPECT_LE(x, 10.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Simplex, RandomLpsMatchBruteForceVertexEnumeration) {
+  // 2-variable LPs with <= rows: the optimum lies on a vertex of the
+  // feasible polygon; enumerate all candidate vertices explicitly.
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int rows = 3;
+    std::vector<std::array<double, 3>> cons;  // a*x + b*y <= c
+    for (int r = 0; r < rows; ++r) {
+      cons.push_back({rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0),
+                      rng.uniform(1.0, 5.0)});
+    }
+    const double cx = rng.uniform(-1.0, 1.0), cy = rng.uniform(-1.0, 1.0);
+    const double ub = 6.0;
+
+    LpProblem lp;
+    lp.num_vars = 2;
+    lp.objective = {cx, cy};
+    lp.upper = {ub, ub};
+    for (const auto& c : cons) {
+      lp.rows.push_back({{{0, c[0]}, {1, c[1]}}, Relation::LessEq, c[2]});
+    }
+    const auto solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, LpStatus::Optimal);
+
+    // Brute force: all intersections of constraint/bound lines.
+    std::vector<std::array<double, 3>> lines = cons;  // as equalities
+    lines.push_back({1.0, 0.0, 0.0});
+    lines.push_back({0.0, 1.0, 0.0});
+    lines.push_back({1.0, 0.0, ub});
+    lines.push_back({0.0, 1.0, ub});
+    double best = 1e100;
+    auto feasible = [&](double x, double y) {
+      if (x < -1e-9 || y < -1e-9 || x > ub + 1e-9 || y > ub + 1e-9)
+        return false;
+      for (const auto& c : cons) {
+        if (c[0] * x + c[1] * y > c[2] + 1e-9) return false;
+      }
+      return true;
+    };
+    for (std::size_t a = 0; a < lines.size(); ++a) {
+      for (std::size_t b = a + 1; b < lines.size(); ++b) {
+        const double det = lines[a][0] * lines[b][1] - lines[a][1] * lines[b][0];
+        if (std::abs(det) < 1e-12) continue;
+        const double x = (lines[a][2] * lines[b][1] - lines[a][1] * lines[b][2]) / det;
+        const double y = (lines[a][0] * lines[b][2] - lines[a][2] * lines[b][0]) / det;
+        if (feasible(x, y)) best = std::min(best, cx * x + cy * y);
+      }
+    }
+    ASSERT_LT(best, 1e99);  // origin is always feasible
+    EXPECT_NEAR(solution.objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Simplex, ProblemValidation) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0};  // wrong size
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+
+  lp.objective = {1.0, 1.0};
+  lp.rows.push_back({{{0, 1.0}, {0, 2.0}}, Relation::LessEq, 1.0});
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);  // repeated column
+
+  lp.rows.clear();
+  lp.rows.push_back({{{5, 1.0}}, Relation::LessEq, 1.0});
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);  // index out of range
+}
+
+TEST(Simplex, EmptyProblemFeasibility) {
+  LpProblem lp;  // zero variables
+  lp.rows.push_back({{}, Relation::LessEq, 1.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Optimal);
+  lp.rows.push_back({{}, Relation::GreaterEq, 1.0});
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::Infeasible);
+}
+
+}  // namespace
+}  // namespace moldsched

@@ -1,0 +1,114 @@
+#include "sched/validator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moldsched {
+namespace {
+
+Instance make_instance() {
+  Instance instance(4);
+  instance.add_task(MoldableTask({4.0, 2.5, 2.0, 1.8}, 1.0));
+  instance.add_task(MoldableTask({3.0, 1.5, 1.2, 1.0}, 2.0));
+  return instance;
+}
+
+TEST(Validator, AcceptsFeasibleSchedule) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 2.5, {0, 1});
+  schedule.place(1, 0.0, 1.5, {2, 3});
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_TRUE(report.ok) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_NO_THROW(require_valid(schedule, instance));
+}
+
+TEST(Validator, DetectsUnassignedTask) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 4.0, {0});
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.errors[0].find("not assigned"), std::string::npos);
+}
+
+TEST(Validator, DetectsProcessorOverlap) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 4.0, {0});
+  schedule.place(1, 2.0, 3.0, {0});  // overlaps task 0 on processor 0
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.errors[0].find("overlaps"), std::string::npos);
+  EXPECT_THROW(require_valid(schedule, instance), std::runtime_error);
+}
+
+TEST(Validator, BackToBackIsNotOverlap) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 4.0, {0});
+  schedule.place(1, 4.0, 3.0, {0});  // starts exactly when task 0 ends
+  EXPECT_TRUE(validate_schedule(schedule, instance).ok);
+}
+
+TEST(Validator, DetectsDurationMismatch) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 99.0, {0});  // p(1) is 4.0
+  schedule.place(1, 0.0, 1.5, {2, 3});
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.errors[0].find("duration"), std::string::npos);
+}
+
+TEST(Validator, DurationCheckCanBeDisabled) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 99.0, {0});
+  schedule.place(1, 0.0, 1.5, {2, 3});
+  ValidationOptions options;
+  options.check_durations = false;
+  EXPECT_TRUE(validate_schedule(schedule, instance, options).ok);
+}
+
+TEST(Validator, DetectsDisallowedAllotment) {
+  Instance instance(4);
+  instance.add_task(MoldableTask({4.0, 2.5, 2.0, 1.8}, 1.0, /*min_procs=*/2));
+  Schedule schedule(4, 1);
+  schedule.place(0, 0.0, 4.0, {0});  // 1 proc < min_procs
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.errors[0].find("allotment"), std::string::npos);
+}
+
+TEST(Validator, ChecksReleaseDates) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 2.5, {0, 1});
+  schedule.place(1, 0.0, 1.5, {2, 3});
+  ValidationOptions options;
+  options.releases = {1.0, 0.0};  // task 0 released at t=1 but starts at 0
+  const auto report = validate_schedule(schedule, instance, options);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.errors[0].find("release"), std::string::npos);
+}
+
+TEST(Validator, ShapeMismatchIsAnError) {
+  const Instance instance = make_instance();
+  Schedule wrong_tasks(4, 3);
+  EXPECT_FALSE(validate_schedule(wrong_tasks, instance).ok);
+  Schedule wrong_procs(5, 2);
+  EXPECT_FALSE(validate_schedule(wrong_procs, instance).ok);
+}
+
+TEST(Validator, MultipleErrorsAllReported) {
+  const Instance instance = make_instance();
+  Schedule schedule(4, 2);
+  schedule.place(0, 0.0, 9.0, {0});   // bad duration
+  schedule.place(1, 0.0, 9.0, {0});   // bad duration AND overlap
+  const auto report = validate_schedule(schedule, instance);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.errors.size(), 3u);
+}
+
+}  // namespace
+}  // namespace moldsched
