@@ -4,7 +4,13 @@
 /// on 2004 hardware; the shape (roughly linear growth in n, weakly parallel
 /// slowest because of its larger K) is the reproduction target.
 ///
-/// Flags: --sizes, --m, --runs, --seed, --csv as in the figure harnesses.
+/// Flags: --sizes, --m, --runs, --seed, --csv as in the figure harnesses,
+/// plus the shuffle-engine knobs: --shuffles N (candidates per call),
+/// --shuffle-workers K (0 = all shared-pool workers, 1 = sequential), and
+/// --json PATH for a machine-readable BENCH_demt.json ("" disables). A
+/// shuffle-heavy speedup check: `fig7_runtime --sizes 200 --m 64
+/// --shuffles 64 --shuffle-workers 0` vs `--shuffle-workers 1` — identical
+/// schedules, parallel wall-clock.
 
 #include <fstream>
 #include <iostream>
@@ -27,20 +33,34 @@ int main(int argc, char** argv) {
   const int runs = static_cast<int>(args.get_int("runs", 10));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20040627));
 
+  DemtOptions demt_options;
+  demt_options.shuffles =
+      static_cast<int>(args.get_int("shuffles", demt_options.shuffles));
+  demt_options.shuffle_workers = static_cast<int>(
+      args.get_int("shuffle-workers", demt_options.shuffle_workers));
+
   const std::vector<WorkloadFamily> families = {
       WorkloadFamily::WeaklyParallel, WorkloadFamily::Cirne,
       WorkloadFamily::HighlyParallel};
 
   std::cout << "# Figure 7 - execution time of the DEMT scheduling "
                "algorithm (seconds)\n";
-  std::cout << strfmt("# m=%d, %d runs per point (mean [min,max])\n\n", m,
-                      runs);
+  std::cout << strfmt(
+      "# m=%d, %d runs per point (mean [min,max]), %d shuffles, "
+      "shuffle_workers=%d\n\n",
+      m, runs, demt_options.shuffles, demt_options.shuffle_workers);
   std::cout << strfmt("%6s", "n");
   for (auto family : families) {
     std::cout << strfmt("  %-26s", std::string(family_name(family)).c_str());
   }
   std::cout << '\n';
 
+  struct JsonRow {
+    int n;
+    std::string family;
+    double mean_s, min_s, max_s, tasks_per_s, wc, cmax;
+  };
+  std::vector<JsonRow> json_rows;
   std::vector<std::vector<std::string>> csv_rows;
   for (int n : sizes) {
     std::cout << strfmt("%6d", n);
@@ -48,12 +68,17 @@ int main(int argc, char** argv) {
       Rng rng(seed + static_cast<std::uint64_t>(n) * 13 +
               static_cast<std::uint64_t>(family));
       RunningStats time_s;
+      double wc = 0.0;
+      double cmax = 0.0;
       for (int r = 0; r < runs; ++r) {
         const Instance instance = generate_instance(family, n, m, rng);
         WallTimer timer;
-        const auto result = demt_schedule(instance);
+        const auto result = demt_schedule(instance, demt_options);
         time_s.add(timer.seconds());
-        (void)result;
+        // Record schedule quality so parallel/sequential runs of this bench
+        // can be checked for identical output, not just speed.
+        wc = result.schedule.weighted_completion_sum(instance);
+        cmax = result.schedule.cmax();
       }
       std::cout << strfmt("  %8.4f [%7.4f,%7.4f]", time_s.mean(), time_s.min(),
                           time_s.max());
@@ -62,6 +87,9 @@ int main(int argc, char** argv) {
                           strfmt("%.6f", time_s.mean()),
                           strfmt("%.6f", time_s.min()),
                           strfmt("%.6f", time_s.max())});
+      json_rows.push_back({n, std::string(family_name(family)), time_s.mean(),
+                           time_s.min(), time_s.max(), n / time_s.mean(), wc,
+                           cmax});
     }
     std::cout << '\n';
   }
@@ -73,6 +101,27 @@ int main(int argc, char** argv) {
     csv.header({"n", "family", "mean_s", "min_s", "max_s"});
     for (const auto& row : csv_rows) csv.row(row);
     std::cout << "# csv written to " << csv_path << "\n";
+  }
+
+  const std::string json_path = args.get_string("json", "BENCH_demt.json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << strfmt(
+        "{\n  \"benchmark\": \"fig7_runtime\",\n  \"m\": %d,\n"
+        "  \"runs\": %d,\n  \"shuffles\": %d,\n  \"shuffle_workers\": %d,\n"
+        "  \"results\": [\n",
+        m, runs, demt_options.shuffles, demt_options.shuffle_workers);
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& r = json_rows[i];
+      out << strfmt(
+          "    {\"n\": %d, \"family\": \"%s\", \"mean_s\": %.6f, "
+          "\"min_s\": %.6f, \"max_s\": %.6f, \"tasks_per_s\": %.1f, "
+          "\"last_wc\": %.6f, \"last_cmax\": %.6f}%s\n",
+          r.n, r.family.c_str(), r.mean_s, r.min_s, r.max_s, r.tasks_per_s,
+          r.wc, r.cmax, i + 1 < json_rows.size() ? "," : "");
+    }
+    out << "  ]\n}\n";
+    std::cout << "# json written to " << json_path << "\n";
   }
   return 0;
 }

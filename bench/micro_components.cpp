@@ -1,127 +1,223 @@
-/// Google-benchmark micro costs of the algorithmic components: the
-/// per-batch knapsack, the dual-approximation search, the LP lower bound,
-/// the list scheduler, the generators, and the full DEMT call. These back
-/// the complexity claims (knapsack O(mn), overall O(mnK)) with
-/// measurements.
+/// Micro costs of the algorithmic components: the per-batch knapsack, the
+/// dual-approximation search, the list scheduler, the generators, and the
+/// full DEMT call. These back the complexity claims (knapsack O(mn),
+/// overall O(mnK)) with measurements.
+///
+/// Self-contained harness (no external benchmark dependency): every
+/// component is timed with a calibrated repetition loop, and a global
+/// operator-new hook counts heap allocations so the zero-allocation claim
+/// of the DEMT shuffle loop is verified, not asserted. Results go to stdout
+/// and, machine-readable, to BENCH_demt_micro.json (--json PATH to
+/// override, --json "" to disable).
 
-#include <benchmark/benchmark.h>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "core/batching.hpp"
 #include "core/demt.hpp"
 #include "core/knapsack.hpp"
 #include "dualapprox/cmax_estimator.hpp"
-#include "lp/minsum_bound.hpp"
 #include "sched/list_scheduler.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/strfmt.hpp"
+#include "util/timer.hpp"
 #include "workloads/generators.hpp"
+
+// ------------------------------------------------------------------------
+// Allocation counter: a global operator-new hook. Counts every heap
+// allocation in the process; measurements take deltas around the timed
+// region (single-threaded here, so the delta is exact).
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace moldsched;
 
-Instance make_instance(int n, int m, WorkloadFamily family, std::uint64_t seed) {
+struct BenchResult {
+  std::string name;
+  int n = 0;
+  int reps = 0;
+  double per_call_s = 0.0;
+  double tasks_per_s = 0.0;  // n / per_call_s when n is a task count
+  double allocs_per_call = -1.0;  // -1 = not measured
+};
+
+std::vector<BenchResult> g_results;
+
+/// Time `body` with enough repetitions to accumulate ~min_time seconds.
+template <typename F>
+void bench(const std::string& name, int n, F&& body,
+           double min_time = 0.05) {
+  body();  // warm-up (also sizes any reusable workspaces)
+  int reps = 1;
+  double elapsed = 0.0;
+  for (;;) {
+    const std::uint64_t alloc_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    WallTimer timer;
+    for (int r = 0; r < reps; ++r) body();
+    elapsed = timer.seconds();
+    if (elapsed >= min_time || reps >= (1 << 20)) {
+      const std::uint64_t alloc_after =
+          g_alloc_count.load(std::memory_order_relaxed);
+      BenchResult result;
+      result.name = name;
+      result.n = n;
+      result.reps = reps;
+      result.per_call_s = elapsed / reps;
+      result.tasks_per_s = n > 0 ? n / result.per_call_s : 0.0;
+      result.allocs_per_call =
+          static_cast<double>(alloc_after - alloc_before) / reps;
+      g_results.push_back(result);
+      std::cout << strfmt("%-28s n=%4d  %12.3f us/call  %10.0f tasks/s  "
+                          "%8.1f allocs/call\n",
+                          name.c_str(), n, result.per_call_s * 1e6,
+                          result.tasks_per_s, result.allocs_per_call);
+      return;
+    }
+    reps *= 2;
+  }
+}
+
+Instance make_instance(int n, int m, WorkloadFamily family,
+                       std::uint64_t seed) {
   Rng rng(seed);
   return generate_instance(family, n, m, rng);
 }
 
-void BM_Knapsack(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const int m = 200;
-  Rng rng(1);
-  std::vector<KnapsackItem> items;
-  for (int i = 0; i < n; ++i) {
-    items.push_back(KnapsackItem{static_cast<int>(rng.uniform_int(1, 16)),
-                                 rng.uniform(1.0, 10.0)});
+void write_json(const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"micro_components\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < g_results.size(); ++i) {
+    const auto& r = g_results[i];
+    out << strfmt("    {\"name\": \"%s\", \"n\": %d, \"reps\": %d, "
+                  "\"per_call_s\": %.9f, \"tasks_per_s\": %.3f, "
+                  "\"allocs_per_call\": %.2f}%s\n",
+                  r.name.c_str(), r.n, r.reps, r.per_call_s, r.tasks_per_s,
+                  r.allocs_per_call, i + 1 < g_results.size() ? "," : "");
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(max_weight_knapsack(items, m));
-  }
-  state.SetComplexityN(n);
+  out << "  ]\n}\n";
+  std::cout << "# json written to " << path << "\n";
 }
-BENCHMARK(BM_Knapsack)->Range(25, 400)->Complexity(benchmark::oN);
-
-void BM_GenerateInstance(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  Rng rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        generate_instance(WorkloadFamily::Cirne, n, 200, rng));
-  }
-}
-BENCHMARK(BM_GenerateInstance)->Range(25, 400);
-
-void BM_DualApproxSearch(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const Instance instance =
-      make_instance(n, 200, WorkloadFamily::Mixed, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(estimate_cmax(instance));
-  }
-}
-BENCHMARK(BM_DualApproxSearch)->Range(25, 400);
-
-void BM_ListScheduler(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  Rng rng(4);
-  std::vector<ListJob> jobs;
-  for (int i = 0; i < n; ++i) {
-    jobs.push_back(ListJob{i, static_cast<int>(rng.uniform_int(1, 32)),
-                           rng.uniform(0.5, 10.0), 0.0});
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(list_schedule(200, n, jobs));
-  }
-}
-BENCHMARK(BM_ListScheduler)->Range(25, 400);
-
-void BM_MinsumLpBound(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const Instance instance =
-      make_instance(n, 200, WorkloadFamily::HighlyParallel, 5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(minsum_lower_bound(instance));
-  }
-}
-BENCHMARK(BM_MinsumLpBound)->RangeMultiplier(2)->Range(25, 100)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_DemtFull(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const Instance instance =
-      make_instance(n, 200, WorkloadFamily::Cirne, 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(demt_schedule(instance));
-  }
-  state.SetComplexityN(n);
-}
-BENCHMARK(BM_DemtFull)->Range(25, 400)->Unit(benchmark::kMillisecond)
-    ->Complexity(benchmark::oN);
-
-void BM_DemtNoShuffle(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const Instance instance =
-      make_instance(n, 200, WorkloadFamily::Cirne, 6);
-  DemtOptions options;
-  options.shuffles = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(demt_schedule(instance, options));
-  }
-}
-BENCHMARK(BM_DemtNoShuffle)->Range(25, 400)->Unit(benchmark::kMillisecond);
-
-void BM_BatchBuild(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  const Instance instance =
-      make_instance(n, 200, WorkloadFamily::Mixed, 7);
-  std::vector<int> pending;
-  for (int i = 0; i < n; ++i) pending.push_back(i);
-  const double length = estimate_cmax(instance).estimate / 4.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(build_batch_items(instance, pending, length));
-  }
-}
-BENCHMARK(BM_BatchBuild)->Range(25, 400);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace moldsched;
+  const ArgParser args(argc, argv);
+  const std::vector<int> sizes =
+      args.has("quick") ? std::vector<int>{50, 200}
+                        : args.get_int_list("sizes", {25, 100, 400});
+  const int m = static_cast<int>(args.get_int("m", 200));
+
+  for (int n : sizes) {
+    Rng rng(1);
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < n; ++i) {
+      items.push_back(KnapsackItem{static_cast<int>(rng.uniform_int(1, 16)),
+                                   rng.uniform(1.0, 10.0)});
+    }
+    bench(strfmt("knapsack"), n,
+          [&] { (void)max_weight_knapsack(items, m); });
+  }
+
+  for (int n : sizes) {
+    Rng rng(2);
+    bench("generate_instance", n,
+          [&] { (void)generate_instance(WorkloadFamily::Cirne, n, m, rng); });
+  }
+
+  for (int n : sizes) {
+    const Instance instance = make_instance(n, m, WorkloadFamily::Mixed, 3);
+    bench("dual_approx_search", n, [&] { (void)estimate_cmax(instance); });
+  }
+
+  for (int n : sizes) {
+    Rng rng(4);
+    std::vector<ListJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      jobs.push_back(ListJob{i, static_cast<int>(rng.uniform_int(1, 32)),
+                             rng.uniform(0.5, 10.0), 0.0});
+    }
+    bench("list_scheduler", n, [&] { (void)list_schedule(m, n, jobs); });
+  }
+
+  for (int n : sizes) {
+    const Instance instance = make_instance(n, m, WorkloadFamily::Mixed, 7);
+    std::vector<int> pending;
+    for (int i = 0; i < n; ++i) pending.push_back(i);
+    const double length = estimate_cmax(instance).estimate / 4.0;
+    bench("batch_build", n,
+          [&] { (void)build_batch_items(instance, pending, length); });
+  }
+
+  for (int n : sizes) {
+    const Instance instance = make_instance(n, m, WorkloadFamily::Cirne, 6);
+    bench("demt_full", n, [&] { (void)demt_schedule(instance); }, 0.2);
+  }
+
+  for (int n : sizes) {
+    const Instance instance = make_instance(n, m, WorkloadFamily::Cirne, 6);
+    DemtOptions options;
+    options.shuffles = 0;
+    bench("demt_no_shuffle", n,
+          [&] { (void)demt_schedule(instance, options); }, 0.2);
+  }
+
+  // Zero-allocation check for the shuffle loop: compare a 1-shuffle call
+  // against a 65-shuffle call. The extra 64 iterations must reuse the
+  // workspace, so the allocation delta per extra shuffle should be ~0.
+  {
+    const int n = 200;
+    const Instance instance = make_instance(n, m, WorkloadFamily::Cirne, 6);
+    DemtOptions base;
+    base.shuffles = 1;
+    DemtOptions heavy;
+    heavy.shuffles = 65;
+    (void)demt_schedule(instance, base);  // warm-up
+    const auto count_allocs = [&](const DemtOptions& options) {
+      const std::uint64_t before = g_alloc_count.load();
+      (void)demt_schedule(instance, options);
+      return static_cast<double>(g_alloc_count.load() - before);
+    };
+    const double allocs_1 = count_allocs(base);
+    const double allocs_65 = count_allocs(heavy);
+    const double per_shuffle = (allocs_65 - allocs_1) / 64.0;
+    std::cout << strfmt("%-28s n=%4d  allocs/shuffle-iter = %.2f "
+                        "(1 shuffle: %.0f, 65 shuffles: %.0f)\n",
+                        "shuffle_alloc_delta", n, per_shuffle, allocs_1,
+                        allocs_65);
+    BenchResult result;
+    result.name = "shuffle_alloc_delta";
+    result.n = n;
+    result.reps = 1;
+    result.allocs_per_call = per_shuffle;
+    g_results.push_back(result);
+  }
+
+  // Distinct default from fig7_runtime's BENCH_demt.json (different
+  // schema); running both benches must not clobber either report.
+  const std::string json_path =
+      args.get_string("json", "BENCH_demt_micro.json");
+  if (!json_path.empty()) write_json(json_path);
+  return 0;
+}

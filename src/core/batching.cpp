@@ -6,16 +6,19 @@
 
 namespace moldsched {
 
-std::vector<BatchItem> build_batch_items(const Instance& instance,
-                                         const std::vector<int>& pending,
-                                         double length,
-                                         const BatchBuildOptions& options) {
+namespace {
+
+std::vector<BatchItem> build_batch_items_impl(
+    const Instance& instance, const std::vector<int>& pending, double length,
+    const BatchBuildOptions& options, const InstanceAllotments* tables) {
   std::vector<BatchItem> items;
   std::vector<int> small;  // mergeable: can run on 1 proc in <= length/2
 
   for (int task_id : pending) {
     const MoldableTask& task = instance.task(task_id);
-    const int alloc = task.canonical_allotment(length);
+    const int alloc = tables != nullptr
+                          ? tables->table(task_id).canonical(length)
+                          : task.canonical_allotment(length);
     if (alloc == 0) continue;  // too long for this batch
     if (options.merge_small_tasks && task.min_procs() == 1 &&
         task.time(1) <= length / 2.0) {
@@ -85,6 +88,23 @@ std::vector<BatchItem> build_batch_items(const Instance& instance,
   items.insert(items.end(), std::make_move_iterator(stacks.begin()),
                std::make_move_iterator(stacks.end()));
   return items;
+}
+
+}  // namespace
+
+std::vector<BatchItem> build_batch_items(const Instance& instance,
+                                         const std::vector<int>& pending,
+                                         double length,
+                                         const BatchBuildOptions& options) {
+  return build_batch_items_impl(instance, pending, length, options, nullptr);
+}
+
+std::vector<BatchItem> build_batch_items(const Instance& instance,
+                                         const std::vector<int>& pending,
+                                         double length,
+                                         const BatchBuildOptions& options,
+                                         const InstanceAllotments& tables) {
+  return build_batch_items_impl(instance, pending, length, options, &tables);
 }
 
 std::vector<int> select_batch(const std::vector<BatchItem>& items, int m) {

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "tasks/allotment_table.hpp"
 #include "tasks/instance.hpp"
 
 namespace moldsched {
@@ -40,6 +41,13 @@ struct BatchBuildOptions {
 [[nodiscard]] std::vector<BatchItem> build_batch_items(
     const Instance& instance, const std::vector<int>& pending, double length,
     const BatchBuildOptions& options = {});
+
+/// Same construction with precomputed allotment tables (the canonical
+/// allotment per candidate becomes an O(log max_procs) lookup). DEMT builds
+/// the tables once per call and reuses them for every batch length.
+[[nodiscard]] std::vector<BatchItem> build_batch_items(
+    const Instance& instance, const std::vector<int>& pending, double length,
+    const BatchBuildOptions& options, const InstanceAllotments& tables);
 
 /// Select the weight-maximising subset of items within the processor
 /// budget; returns indices into `items`.

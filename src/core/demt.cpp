@@ -8,9 +8,12 @@
 #include "core/batching.hpp"
 #include "dualapprox/cmax_estimator.hpp"
 #include "sched/compaction.hpp"
+#include "sched/flat_schedule.hpp"
 #include "sched/list_scheduler.hpp"
+#include "tasks/allotment_table.hpp"
 #include "tasks/time_grid.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace moldsched {
 
@@ -52,44 +55,6 @@ Schedule naive_placement(const Instance& instance,
   return schedule;
 }
 
-/// Expand a list-scheduled set of items back into per-task placements.
-Schedule expand_items(const Instance& instance,
-                      const std::vector<BatchItem>& items,
-                      const Schedule& item_schedule) {
-  Schedule schedule(instance.procs(), instance.num_tasks());
-  for (std::size_t idx = 0; idx < items.size(); ++idx) {
-    const auto& item = items[idx];
-    const Placement& p = item_schedule.placement(static_cast<int>(idx));
-    if (item.is_stack()) {
-      double offset = 0.0;
-      for (int task_id : item.tasks) {
-        const double d = instance.task(task_id).time(1);
-        schedule.place(task_id, p.start + offset, d, p.procs);
-        offset += d;
-      }
-    } else {
-      schedule.place(item.tasks.front(), p.start, p.duration, p.procs);
-    }
-  }
-  return schedule;
-}
-
-/// Run the event-driven list scheduler over the items in the given order.
-Schedule list_pass(const Instance& instance,
-                   const std::vector<BatchItem>& items,
-                   const std::vector<int>& order) {
-  std::vector<ListJob> jobs;
-  jobs.reserve(order.size());
-  for (int idx : order) {
-    const auto& item = items[static_cast<std::size_t>(idx)];
-    jobs.push_back(ListJob{idx, item.procs, item.duration, 0.0});
-  }
-  const Schedule item_schedule =
-      list_schedule(instance.procs(), static_cast<int>(items.size()), jobs);
-  // Re-order the schedule of items into task placements.
-  return expand_items(instance, items, item_schedule);
-}
-
 void apply_local_order(const Instance&, std::vector<BatchItem>& items,
                        DemtOptions::LocalOrder order) {
   switch (order) {
@@ -110,6 +75,88 @@ void apply_local_order(const Instance&, std::vector<BatchItem>& items,
   }
 }
 
+// ---------------------------------------------------------------------
+// The shuffle-compaction hot path. Every candidate evaluation runs inside
+// one ShuffleWorkspace: the list pass, the item->task expansion, the
+// pull-forward compaction and both metrics touch only flat buffers that
+// are cleared (capacity kept) per candidate, so after the first candidate
+// warms a workspace the loop performs no heap allocation at all.
+struct ShuffleWorkspace {
+  ListPassWorkspace list;
+  FlatPlacements items;             ///< per-item placements from the list pass
+  FlatPlacements tasks;             ///< expanded per-task placements
+  CompactionBuffers compact;
+  std::vector<int> order;           ///< shuffled item order
+  std::vector<std::pair<int, int>> ranges;  ///< batch-range scratch
+};
+
+/// Run the list pass for the items in `order` and expand into per-task
+/// flat placements (stacks share their item's processor range).
+void list_pass_flat(const Instance& instance,
+                    const std::vector<BatchItem>& flat_items,
+                    const std::vector<int>& order, ShuffleWorkspace& ws) {
+  ws.list.jobs.clear();
+  for (int idx : order) {
+    const auto& item = flat_items[static_cast<std::size_t>(idx)];
+    ws.list.jobs.push_back(ListJob{idx, item.procs, item.duration, 0.0});
+  }
+  static const std::vector<BusyInterval> kNoReservations;
+  list_schedule_into(instance.procs(),
+                     static_cast<int>(flat_items.size()), kNoReservations,
+                     ws.list, ws.items);
+
+  ws.tasks.reset(instance.num_tasks());
+  for (std::size_t idx = 0; idx < flat_items.size(); ++idx) {
+    const auto& item = flat_items[idx];
+    const double item_start = ws.items.start[idx];
+    const int base = static_cast<int>(ws.tasks.proc_ids.size());
+    const auto begin = static_cast<std::size_t>(ws.items.proc_begin[idx]);
+    const auto count = static_cast<std::size_t>(ws.items.proc_count[idx]);
+    for (std::size_t i = begin; i < begin + count; ++i) {
+      ws.tasks.proc_ids.push_back(ws.items.proc_ids[i]);
+    }
+    double offset = 0.0;
+    for (int task_id : item.tasks) {
+      const auto t = static_cast<std::size_t>(task_id);
+      const double d = item.is_stack() ? instance.task(task_id).time(1)
+                                       : item.duration;
+      ws.tasks.start[t] = item_start + offset;
+      ws.tasks.duration[t] = d;
+      ws.tasks.proc_begin[t] = base;
+      ws.tasks.proc_count[t] = static_cast<int>(count);
+      offset += d;
+    }
+  }
+}
+
+/// Evaluate one shuffle candidate: generate its order from `rng` (taken by
+/// value — each candidate owns a pre-forked stream), run the flat list
+/// pass + compaction, return (weighted completion sum, cmax). The final
+/// task placements stay in `ws.tasks` for the winner's materialisation.
+std::pair<double, double> evaluate_shuffle_candidate(
+    const Instance& instance, const std::vector<BatchItem>& flat_items,
+    const std::vector<std::pair<int, int>>& batch_ranges,
+    bool shuffle_batch_order, Rng rng, ShuffleWorkspace& ws) {
+  ws.ranges.assign(batch_ranges.begin(), batch_ranges.end());
+  if (shuffle_batch_order) rng.shuffle(ws.ranges);
+  ws.order.clear();
+  for (const auto& [first, last] : ws.ranges) {
+    const auto segment_begin = ws.order.size();
+    for (int i = first; i < last; ++i) ws.order.push_back(i);
+    // Fisher-Yates on the segment in place (same draws as shuffling a
+    // per-batch id vector, without one).
+    const std::size_t len = ws.order.size() - segment_begin;
+    for (std::size_t i = len; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(ws.order[segment_begin + i - 1], ws.order[segment_begin + j]);
+    }
+  }
+  list_pass_flat(instance, flat_items, ws.order, ws);
+  pull_forward(ws.tasks, instance.procs(), ws.compact);
+  return {ws.tasks.weighted_completion_sum(instance), ws.tasks.cmax()};
+}
+
 }  // namespace
 
 DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
@@ -117,14 +164,20 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
     throw std::invalid_argument("demt_schedule: empty instance");
   }
 
+  // Per-task allotment tables, shared by the dual-approximation search and
+  // every batch construction below.
+  const InstanceAllotments tables(instance);
+
   // 1. Dual-approximation makespan estimate and the geometric grid.
-  const CmaxEstimate estimate = estimate_cmax(instance, options.dual_eps);
+  const CmaxEstimate estimate =
+      estimate_cmax(instance, options.dual_eps, tables);
   const TimeGrid grid(estimate.estimate, instance.tmin());
 
   DemtDiagnostics diag;
   diag.cmax_estimate = estimate.estimate;
   diag.cmax_lower_bound = estimate.lower_bound;
   diag.grid_k = grid.K();
+  diag.dual_tests = estimate.dual_tests;
 
   // 2./3. Batch loop: select content for batches 0, 1, ... until every task
   // is placed. The paper iterates to K; the knapsack may leave tasks over,
@@ -139,21 +192,21 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
   build_options.smith_order_stacks = options.smith_order_stacks;
 
   std::vector<SelectedBatch> batches;
+  std::vector<bool> remove(static_cast<std::size_t>(instance.num_tasks()));
   const int max_batches = grid.K() + 128;  // defensive cap; never reached
   for (int j = 0; !pending.empty(); ++j) {
     if (j > max_batches) {
       throw std::logic_error("demt_schedule: batch loop failed to drain");
     }
-    auto items =
-        build_batch_items(instance, pending, grid.batch_length(j), build_options);
+    auto items = build_batch_items(instance, pending, grid.batch_length(j),
+                                   build_options, tables);
     if (items.empty()) continue;  // nothing fits yet; batch sizes double
     const std::vector<int> chosen = select_batch(items, instance.procs());
     if (chosen.empty()) continue;
 
     SelectedBatch batch;
     batch.grid_index = j;
-    std::vector<bool> remove(static_cast<std::size_t>(instance.num_tasks()),
-                             false);
+    std::fill(remove.begin(), remove.end(), false);
     for (int idx : chosen) {
       auto& item = items[static_cast<std::size_t>(idx)];
       if (item.is_stack()) ++diag.merged_stacks;
@@ -188,11 +241,14 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
     for (const auto& item : batch.items) flat_items.push_back(item);
     batch_ranges.emplace_back(first, static_cast<int>(flat_items.size()));
   }
-  std::vector<int> order(flat_items.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
 
-  Schedule listed = list_pass(instance, flat_items, order);
-  pull_forward(listed);
+  ShuffleWorkspace main_ws;
+  std::vector<int> identity_order(flat_items.size());
+  for (std::size_t i = 0; i < identity_order.size(); ++i) {
+    identity_order[i] = static_cast<int>(i);
+  }
+  list_pass_flat(instance, flat_items, identity_order, main_ws);
+  pull_forward(main_ws.tasks, instance.procs(), main_ws.compact);
 
   // The list pass is the paper's preferred compaction, but it is a
   // heuristic: keep whichever of {pulled naive, listed} dominates on the
@@ -200,10 +256,10 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
   double best_wc = best.weighted_completion_sum(instance);
   double base_cmax = best.cmax();
   {
-    const double wc = listed.weighted_completion_sum(instance);
-    const double cm = listed.cmax();
+    const double wc = main_ws.tasks.weighted_completion_sum(instance);
+    const double cm = main_ws.tasks.cmax();
     if (wc < best_wc || cm < base_cmax) {
-      best = std::move(listed);
+      best = main_ws.tasks.to_schedule(instance.procs());
       best_wc = wc;
       base_cmax = cm;
     }
@@ -211,30 +267,78 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
 
   // 5. Shuffle optimisation: randomise the order within batches (optionally
   // the batch order too), rerun the list pass, keep improvements within the
-  // makespan budget.
+  // makespan budget. Candidates are independent: each owns a stream forked
+  // in candidate order from the seed, all of them are evaluated (possibly
+  // concurrently, each strand inside its own reusable workspace), and a
+  // sequential replay of the (minsum, cmax) pairs applies the paper's
+  // acceptance rule — so the result is identical for any worker count.
+  const int shuffles = options.shuffles;
+  if (shuffles <= 0) return DemtResult{std::move(best), diag};
+
   Rng rng(options.shuffle_seed);
-  const double cmax_budget = base_cmax * options.cmax_budget_factor;
-  for (int s = 0; s < options.shuffles; ++s) {
-    std::vector<std::pair<int, int>> ranges = batch_ranges;
-    if (options.shuffle_batch_order) rng.shuffle(ranges);
-    std::vector<int> shuffled;
-    shuffled.reserve(flat_items.size());
-    for (const auto& [first, last] : ranges) {
-      std::vector<int> ids;
-      ids.reserve(static_cast<std::size_t>(last - first));
-      for (int i = first; i < last; ++i) ids.push_back(i);
-      rng.shuffle(ids);
-      shuffled.insert(shuffled.end(), ids.begin(), ids.end());
+  std::vector<Rng> candidate_rngs;
+  candidate_rngs.reserve(static_cast<std::size_t>(shuffles));
+  for (int s = 0; s < shuffles; ++s) {
+    candidate_rngs.push_back(rng.fork(static_cast<std::uint64_t>(s)));
+  }
+  std::vector<double> cand_wc(static_cast<std::size_t>(shuffles));
+  std::vector<double> cand_cm(static_cast<std::size_t>(shuffles));
+
+  int max_strands = options.shuffle_workers;
+  if (max_strands <= 0) {
+    max_strands = static_cast<int>(shared_thread_pool().size());
+  }
+  max_strands = std::min(max_strands, shuffles);
+  // Never block on the shared pool from one of its own workers (the
+  // experiment harness runs whole replicates on pool threads).
+  if (ThreadPool::this_thread_is_worker()) max_strands = 1;
+
+  if (max_strands > 1) {
+    ThreadPool& pool = shared_thread_pool();
+    std::vector<ShuffleWorkspace> workspaces(
+        std::min<std::size_t>(pool.size(),
+                              static_cast<std::size_t>(max_strands)));
+    pool.parallel_for_slots(
+        0, static_cast<std::size_t>(shuffles),
+        [&](std::size_t slot, std::size_t s) {
+          const auto result = evaluate_shuffle_candidate(
+              instance, flat_items, batch_ranges, options.shuffle_batch_order,
+              candidate_rngs[s], workspaces[slot]);
+          cand_wc[s] = result.first;
+          cand_cm[s] = result.second;
+        },
+        static_cast<std::size_t>(max_strands));
+    diag.shuffle_strands = static_cast<int>(workspaces.size());
+  } else {
+    for (int s = 0; s < shuffles; ++s) {
+      const auto result = evaluate_shuffle_candidate(
+          instance, flat_items, batch_ranges, options.shuffle_batch_order,
+          candidate_rngs[static_cast<std::size_t>(s)], main_ws);
+      cand_wc[static_cast<std::size_t>(s)] = result.first;
+      cand_cm[static_cast<std::size_t>(s)] = result.second;
     }
-    Schedule candidate = list_pass(instance, flat_items, shuffled);
-    pull_forward(candidate);
-    const double wc = candidate.weighted_completion_sum(instance);
-    const double cm = candidate.cmax();
+    diag.shuffle_strands = 1;
+  }
+
+  // Sequential replay of the acceptance rule, in candidate order.
+  const double cmax_budget = base_cmax * options.cmax_budget_factor;
+  int winner = -1;
+  for (int s = 0; s < shuffles; ++s) {
+    const double wc = cand_wc[static_cast<std::size_t>(s)];
+    const double cm = cand_cm[static_cast<std::size_t>(s)];
     if (wc < best_wc - 1e-12 && cm <= cmax_budget + 1e-12) {
-      best = std::move(candidate);
       best_wc = wc;
+      winner = s;
       ++diag.shuffle_improvements;
     }
+  }
+  if (winner >= 0) {
+    // Re-evaluate the winning candidate (its RNG stream regenerates the
+    // same order) and materialise it as the result schedule.
+    (void)evaluate_shuffle_candidate(
+        instance, flat_items, batch_ranges, options.shuffle_batch_order,
+        candidate_rngs[static_cast<std::size_t>(winner)], main_ws);
+    best = main_ws.tasks.to_schedule(instance.procs());
   }
 
   return DemtResult{std::move(best), diag};

@@ -7,6 +7,12 @@ namespace moldsched {
 
 std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
                                      int capacity) {
+  thread_local KnapsackWorkspace ws;
+  return max_weight_knapsack(items, capacity, ws);
+}
+
+std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
+                                     int capacity, KnapsackWorkspace& ws) {
   if (capacity < 0) {
     throw std::invalid_argument("max_weight_knapsack: negative capacity");
   }
@@ -21,18 +27,20 @@ std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
 
   const std::size_t n = items.size();
   const auto cap = static_cast<std::size_t>(capacity);
+  const std::size_t row = cap + 1;
   // dp[j] = best weight with budget j after processing a prefix of items;
-  // taken[i][j] records the decision for reconstruction.
-  std::vector<double> dp(cap + 1, 0.0);
-  std::vector<std::vector<bool>> taken(n, std::vector<bool>(cap + 1, false));
+  // taken[i * row + j] records the decision for reconstruction.
+  ws.dp.assign(row, 0.0);
+  ws.taken.assign(n * row, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto cost = static_cast<std::size_t>(items[i].cost);
     if (cost > cap) continue;
+    std::uint8_t* taken_row = ws.taken.data() + i * row;
     for (std::size_t j = cap; j >= cost; --j) {
-      const double candidate = dp[j - cost] + items[i].weight;
-      if (candidate > dp[j]) {
-        dp[j] = candidate;
-        taken[i][j] = true;
+      const double candidate = ws.dp[j - cost] + items[i].weight;
+      if (candidate > ws.dp[j]) {
+        ws.dp[j] = candidate;
+        taken_row[j] = 1;
       }
     }
   }
@@ -40,7 +48,7 @@ std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
   std::vector<int> selected;
   std::size_t j = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (j < taken[i].size() && taken[i][j]) {
+    if (ws.taken[i * row + j]) {
       selected.push_back(static_cast<int>(i));
       j -= static_cast<std::size_t>(items[i].cost);
     }

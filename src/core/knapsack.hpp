@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace moldsched {
@@ -18,11 +19,26 @@ struct KnapsackItem {
   double weight = 0.0; ///< value to maximise (w_i)
 };
 
+/// Reusable DP buffers: the value row and the flat n x (capacity + 1)
+/// decision matrix (replacing the vector-of-vector<bool> the DP used to
+/// allocate per call — one allocation per batch per DEMT run).
+struct KnapsackWorkspace {
+  std::vector<double> dp;
+  std::vector<std::uint8_t> taken;
+};
+
 /// Returns the indices of the selected items (increasing order). Items
 /// whose cost exceeds the capacity are never selected; zero-cost items are
 /// rejected with std::invalid_argument (the batch selection never produces
 /// them and they would make the greedy stages ill-defined).
 [[nodiscard]] std::vector<int> max_weight_knapsack(
     const std::vector<KnapsackItem>& items, int capacity);
+
+/// Same DP with caller-owned buffers (no allocation beyond the returned
+/// selection once the workspace is warm). The parameterless overload uses a
+/// thread-local workspace.
+[[nodiscard]] std::vector<int> max_weight_knapsack(
+    const std::vector<KnapsackItem>& items, int capacity,
+    KnapsackWorkspace& ws);
 
 }  // namespace moldsched

@@ -5,13 +5,20 @@
 
 namespace moldsched {
 
-CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
+CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
+                           const InstanceAllotments& tables) {
   if (instance.empty()) {
     throw std::invalid_argument("estimate_cmax: empty instance");
   }
   if (!(rel_eps > 0.0)) {
     throw std::invalid_argument("estimate_cmax: rel_eps must be positive");
   }
+
+  CmaxEstimate out;
+  const auto test = [&](double lambda) {
+    ++out.dual_tests;
+    return dual_test(instance, lambda, tables);
+  };
 
   // Combinatorial lower bounds: the machine must absorb the minimal total
   // work, and every task needs at least its fastest execution time.
@@ -20,12 +27,11 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
     lb = std::max(lb, task.min_time());
   }
 
-  CmaxEstimate out;
   out.lower_bound = lb;
 
   // If the dual test already accepts the combinatorial bound, it is also
   // the estimate — no schedule can beat it.
-  DualTestResult at_lb = dual_test(instance, lb);
+  DualTestResult at_lb = test(lb);
   if (at_lb.feasible) {
     out.estimate = lb;
     out.partition = std::move(at_lb);
@@ -36,11 +42,11 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
   // always rejected, `hi` always accepted.
   double lo = lb;
   double hi = lb * 2.0;
-  DualTestResult at_hi = dual_test(instance, hi);
+  DualTestResult at_hi = test(hi);
   while (!at_hi.feasible) {
     lo = hi;
     hi *= 2.0;
-    at_hi = dual_test(instance, hi);
+    at_hi = test(hi);
     if (hi > lb * 1e9) {
       throw std::logic_error("estimate_cmax: dual test never accepts");
     }
@@ -48,7 +54,7 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
 
   while (hi - lo > rel_eps * hi) {
     const double mid = 0.5 * (lo + hi);
-    DualTestResult at_mid = dual_test(instance, mid);
+    DualTestResult at_mid = test(mid);
     if (at_mid.feasible) {
       hi = mid;
       at_hi = std::move(at_mid);
@@ -61,6 +67,14 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
   out.lower_bound = std::max(lb, lo);
   out.partition = std::move(at_hi);
   return out;
+}
+
+CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
+  if (instance.empty()) {
+    throw std::invalid_argument("estimate_cmax: empty instance");
+  }
+  const InstanceAllotments tables(instance);
+  return estimate_cmax(instance, rel_eps, tables);
 }
 
 }  // namespace moldsched

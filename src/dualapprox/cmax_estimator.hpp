@@ -20,6 +20,10 @@ struct CmaxEstimate {
   double lower_bound = 0.0;
   /// Dual-test partition at `estimate` (shelf + allotment per task).
   DualTestResult partition;
+  /// Number of dual_test invocations the search performed (regression
+  /// anchor: the allotment-table precompute must not change the search
+  /// trajectory).
+  int dual_tests = 0;
 };
 
 /// Runs the search to relative precision `rel_eps` (the interval
@@ -28,5 +32,12 @@ struct CmaxEstimate {
 /// or non-positive rel_eps.
 [[nodiscard]] CmaxEstimate estimate_cmax(const Instance& instance,
                                          double rel_eps = 1e-4);
+
+/// Same search with caller-provided allotment tables (built once, shared
+/// with the DEMT batch loop); every dual_test call inside the bisection
+/// uses the O(log max_procs) lookups.
+[[nodiscard]] CmaxEstimate estimate_cmax(const Instance& instance,
+                                         double rel_eps,
+                                         const InstanceAllotments& tables);
 
 }  // namespace moldsched

@@ -31,9 +31,9 @@ std::vector<Option> shelf1_options(const MoldableTask& task, double lambda) {
   return options;
 }
 
-}  // namespace
-
-DualTestResult dual_test(const Instance& instance, double lambda) {
+/// Shared implementation; `tables` may be null (scan-based lookups).
+DualTestResult dual_test_impl(const Instance& instance, double lambda,
+                              const InstanceAllotments* tables) {
   if (!(lambda > 0.0)) {
     throw std::invalid_argument("dual_test: lambda must be positive");
   }
@@ -58,9 +58,21 @@ DualTestResult dual_test(const Instance& instance, double lambda) {
   for (int i = 0; i < n; ++i) {
     const MoldableTask& task = instance.task(i);
     auto& c = choices[static_cast<std::size_t>(i)];
-    c.shelf1 = shelf1_options(task, lambda);
-    if (c.shelf1.empty()) return result;  // cannot meet lambda: reject
-    const int g2 = task.min_work_allotment(lambda / 2.0);
+    if (tables != nullptr && tables->table(i).strictly_monotone()) {
+      // Monotone fast path: time non-increasing means every allotment from
+      // the canonical one up meets lambda, and work non-decreasing means
+      // none of them beats the canonical work — the Pareto set is a
+      // singleton, found by binary search.
+      const int c1 = tables->table(i).canonical(lambda);
+      if (c1 == 0) return result;  // cannot meet lambda: reject
+      c.shelf1.push_back(Option{c1, task.work(c1)});
+    } else {
+      c.shelf1 = shelf1_options(task, lambda);
+      if (c.shelf1.empty()) return result;  // cannot meet lambda: reject
+    }
+    const int g2 = tables != nullptr
+                       ? tables->table(i).min_work(lambda / 2.0)
+                       : task.min_work_allotment(lambda / 2.0);
     if (g2 > 0) {
       c.shelf2_work = task.work(g2);
       c.shelf2_procs = g2;
@@ -135,6 +147,17 @@ DualTestResult dual_test(const Instance& instance, double lambda) {
     }
   }
   return result;
+}
+
+}  // namespace
+
+DualTestResult dual_test(const Instance& instance, double lambda) {
+  return dual_test_impl(instance, lambda, nullptr);
+}
+
+DualTestResult dual_test(const Instance& instance, double lambda,
+                         const InstanceAllotments& tables) {
+  return dual_test_impl(instance, lambda, &tables);
 }
 
 }  // namespace moldsched

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "tasks/allotment_table.hpp"
 #include "tasks/instance.hpp"
 
 namespace moldsched {
@@ -43,5 +44,14 @@ struct DualTestResult {
 
 /// Run the dual test for guess `lambda` (> 0).
 [[nodiscard]] DualTestResult dual_test(const Instance& instance, double lambda);
+
+/// Same test with precomputed allotment tables: canonical / min-work
+/// lookups cost O(log max_procs) instead of O(max_procs), and for strictly
+/// monotone tasks the shelf-1 Pareto set collapses to the single canonical
+/// allotment without a scan. Produces bit-identical results to the
+/// table-free overload — the bisection in estimate_cmax builds the tables
+/// once and reuses them across all its calls.
+[[nodiscard]] DualTestResult dual_test(const Instance& instance, double lambda,
+                                       const InstanceAllotments& tables);
 
 }  // namespace moldsched

@@ -81,6 +81,13 @@ PointResult run_point(const PointConfig& config,
   auto body = [&](std::size_t r) {
     outcomes[r] = execute_run(config, algorithms, run_rngs[r]);
   };
+  // Default executor: the shared pool — unless the caller brought a pool,
+  // opted out, or this call already runs on a pool worker (submitting and
+  // blocking there could deadlock the pool).
+  if (pool == nullptr && config.parallel_runs &&
+      !ThreadPool::this_thread_is_worker()) {
+    pool = &shared_thread_pool();
+  }
   if (pool != nullptr && pool->size() > 1) {
     pool->parallel_for(0, static_cast<std::size_t>(config.runs), body);
   } else {

@@ -28,6 +28,10 @@ struct PointConfig {
   std::uint64_t seed = 20040627;  ///< base seed (SPAA'04 started June 27)
   bool compute_lp_bound = true;   ///< Fig 7 measures runtime only
   bool validate = true;           ///< validate every schedule produced
+  /// Run replicates on the process-wide shared pool when the caller passes
+  /// no pool of its own (results never depend on the worker count — every
+  /// run owns a pre-forked RNG stream). Set false to force one thread.
+  bool parallel_runs = true;
   GeneratorConfig generator;
   SimplexOptions lp_options;
 };
@@ -35,7 +39,12 @@ struct PointConfig {
 struct AlgoPointStats {
   RatioOfSums cmax_ratio;   ///< vs dual-approximation lower bound
   RatioOfSums minsum_ratio; ///< vs LP relaxation lower bound
-  RunningStats runtime_s;   ///< wall-clock per scheduling call
+  /// Wall-clock per scheduling call, measured while replicates run on
+  /// however many workers are active — comparable between algorithms in
+  /// the same run, but inflated vs. a sequential sweep on a loaded
+  /// machine. For clean runtime curves set `parallel_runs = false` (or
+  /// use bench/fig7_runtime, which times calls one at a time).
+  RunningStats runtime_s;
 };
 
 struct PointResult {
@@ -49,8 +58,9 @@ struct PointResult {
 };
 
 /// Run one experiment point. Runs execute in parallel on `pool` when
-/// provided (each run owns a forked RNG stream, so results do not depend on
-/// the worker count or interleaving).
+/// provided — or on the shared pool when `pool` is null and
+/// `config.parallel_runs` is set (each run owns a forked RNG stream, so
+/// results do not depend on the worker count or interleaving).
 [[nodiscard]] PointResult run_point(const PointConfig& config,
                                     const std::vector<AlgorithmSpec>& algorithms,
                                     ThreadPool* pool = nullptr);

@@ -6,6 +6,9 @@
 
 #pragma once
 
+#include <vector>
+
+#include "sched/flat_schedule.hpp"
 #include "sched/schedule.hpp"
 
 namespace moldsched {
@@ -14,5 +17,19 @@ namespace moldsched {
 /// assignments. Returns the number of tasks that moved. The result is
 /// feasible whenever the input is feasible.
 int pull_forward(Schedule& schedule);
+
+/// Reusable buffers for the flat pull-forward (hot path): sort order and a
+/// per-processor free-time front.
+struct CompactionBuffers {
+  std::vector<int> order;
+  std::vector<double> proc_free;
+};
+
+/// Flat-placement pull-forward used by DEMT's shuffle loop: one sweep in
+/// (start, entry) order against a per-processor free-time front, which
+/// reaches a fixpoint directly (every entry lands tight against a
+/// predecessor's finish or zero) in O(n log n + n * procs) without
+/// allocating. Returns the number of entries that moved.
+int pull_forward(FlatPlacements& flat, int m, CompactionBuffers& buffers);
 
 }  // namespace moldsched

@@ -1,0 +1,51 @@
+#include "sched/flat_schedule.hpp"
+
+#include <algorithm>
+
+namespace moldsched {
+
+void FlatPlacements::reset(int num_entries) {
+  const auto n = static_cast<std::size_t>(num_entries);
+  start.assign(n, 0.0);
+  duration.assign(n, 0.0);
+  proc_begin.assign(n, 0);
+  proc_count.assign(n, 0);
+  proc_ids.clear();
+}
+
+double FlatPlacements::cmax() const noexcept {
+  double best = 0.0;
+  for (std::size_t e = 0; e < start.size(); ++e) {
+    if (duration[e] > 0.0) best = std::max(best, start[e] + duration[e]);
+  }
+  return best;
+}
+
+double FlatPlacements::weighted_completion_sum(
+    const Instance& instance) const noexcept {
+  double sum = 0.0;
+  for (std::size_t e = 0; e < start.size(); ++e) {
+    sum += instance.task(static_cast<int>(e)).weight() *
+           (start[e] + duration[e]);
+  }
+  return sum;
+}
+
+Schedule FlatPlacements::to_schedule(int m) const {
+  Schedule schedule(m, size());
+  std::vector<int> procs;
+  for (int e = 0; e < size(); ++e) {
+    if (!assigned(e)) continue;
+    const auto begin = static_cast<std::size_t>(
+        proc_begin[static_cast<std::size_t>(e)]);
+    const auto count = static_cast<std::size_t>(
+        proc_count[static_cast<std::size_t>(e)]);
+    procs.assign(proc_ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                 proc_ids.begin() + static_cast<std::ptrdiff_t>(begin + count));
+    schedule.place(e, start[static_cast<std::size_t>(e)],
+                   duration[static_cast<std::size_t>(e)], procs);
+  }
+  return schedule;
+}
+
+}  // namespace moldsched

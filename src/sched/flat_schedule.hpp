@@ -1,0 +1,58 @@
+/// \file flat_schedule.hpp
+/// Flat, cache-friendly placement storage for the scheduler hot path.
+/// A Schedule keeps one heap-allocated processor vector per task, which is
+/// what a candidate-evaluation loop must never do: evaluating a shuffle
+/// candidate only needs starts, durations and weights, and the processor
+/// sets can live in one shared pool. FlatPlacements is that view — plain
+/// parallel arrays plus a processor-id pool into which entries point, so
+/// repeated passes reuse the same capacity and the metrics (`cmax`,
+/// `weighted_completion_sum`) are branch-light linear scans with no copies.
+/// Only the winning candidate is converted into a real Schedule.
+
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tasks/instance.hpp"
+
+namespace moldsched {
+
+struct FlatPlacements {
+  /// Per-entry placement; an entry with duration <= 0 is unassigned. The
+  /// processor set of entry e is proc_ids[proc_begin[e] .. +proc_count[e]),
+  /// always in ascending processor order. Ranges may be shared (every task
+  /// of a merged stack aliases its item's range).
+  std::vector<double> start;
+  std::vector<double> duration;
+  std::vector<int> proc_begin;
+  std::vector<int> proc_count;
+  std::vector<int> proc_ids;
+
+  /// Clear to `num_entries` unassigned entries; keeps buffer capacity.
+  void reset(int num_entries);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(start.size());
+  }
+  [[nodiscard]] bool assigned(int e) const noexcept {
+    return duration[static_cast<std::size_t>(e)] > 0.0;
+  }
+  [[nodiscard]] double finish(int e) const noexcept {
+    return start[static_cast<std::size_t>(e)] +
+           duration[static_cast<std::size_t>(e)];
+  }
+
+  /// Max finish over assigned entries (0 when none).
+  [[nodiscard]] double cmax() const noexcept;
+
+  /// Sum of weight * finish over all entries; every entry must be assigned
+  /// and sizes must match (callers in the hot path guarantee both).
+  [[nodiscard]] double weighted_completion_sum(
+      const Instance& instance) const noexcept;
+
+  /// Materialise into a Schedule on m processors (assigned entries only).
+  [[nodiscard]] Schedule to_schedule(int m) const;
+};
+
+}  // namespace moldsched

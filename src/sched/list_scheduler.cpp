@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace moldsched {
@@ -11,21 +10,172 @@ namespace moldsched {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTol = 1e-12;
 
-/// Reservations are modelled as pseudo-jobs pinned to one processor: the
-/// scheduler treats the processor as busy for the interval. They are merged
-/// into the event flow by pre-loading the finish-event queue.
-struct Event {
-  double time;
-  std::vector<int> procs;
-  bool operator>(const Event& other) const { return time > other.time; }
+struct EventLater {
+  bool operator()(const ListPassWorkspace::FinishEvent& a,
+                  const ListPassWorkspace::FinishEvent& b) const noexcept {
+    return a.time > b.time;
+  }
 };
 
 }  // namespace
 
+void list_schedule_into(int m, int num_entries,
+                        const std::vector<BusyInterval>& reservations,
+                        ListPassWorkspace& ws, FlatPlacements& out) {
+  out.reset(num_entries);
+  ws.events.clear();
+  ws.idle.assign(static_cast<std::size_t>(m), 1);
+  ws.done.assign(ws.jobs.size(), 0);
+  int idle_count = m;
+
+  // Reservations, sorted by start and bucketed per processor: chain
+  // same-processor intervals so next_res_start[p] always holds the earliest
+  // pending (not yet begun) reservation on p — the blocked-processor test
+  // in the start loop then costs O(1) per processor instead of a scan over
+  // every pending reservation.
+  ws.reservations.clear();
+  ws.next_res_start.assign(static_cast<std::size_t>(m), kInf);
+  for (const auto& r : reservations) {
+    if (r.proc < 0 || r.proc >= m || !(r.finish > r.start)) {
+      throw std::invalid_argument("list_schedule: bad reservation");
+    }
+    ws.reservations.push_back({r.start, r.finish, r.proc, -1});
+  }
+  if (!ws.reservations.empty()) {
+    std::sort(ws.reservations.begin(), ws.reservations.end(),
+              [](const auto& a, const auto& b) { return a.start < b.start; });
+    ws.res_head.assign(static_cast<std::size_t>(m), -1);
+    for (std::size_t i = ws.reservations.size(); i-- > 0;) {
+      auto& r = ws.reservations[i];
+      const auto p = static_cast<std::size_t>(r.proc);
+      r.next_on_proc = ws.res_head[p];
+      ws.res_head[p] = static_cast<int>(i);
+    }
+    for (int p = 0; p < m; ++p) {
+      const int head = ws.res_head[static_cast<std::size_t>(p)];
+      if (head >= 0) {
+        ws.next_res_start[static_cast<std::size_t>(p)] =
+            ws.reservations[static_cast<std::size_t>(head)].start;
+      }
+    }
+  }
+
+  std::size_t next_res = 0;
+  std::size_t remaining = ws.jobs.size();
+  double now = 0.0;
+
+  const auto push_event = [&](double time, int entry) {
+    ws.events.push_back({time, entry});
+    std::push_heap(ws.events.begin(), ws.events.end(), EventLater{});
+  };
+
+  const auto activate_reservations = [&](double t) {
+    while (next_res < ws.reservations.size() &&
+           ws.reservations[next_res].start <= t + kTol) {
+      const auto& r = ws.reservations[next_res];
+      const auto p = static_cast<std::size_t>(r.proc);
+      // The processor must be idle when the reservation begins; the caller
+      // (online simulator) aligns reservations with idle periods.
+      if (!ws.idle[p]) {
+        throw std::logic_error(
+            "list_schedule: reservation starts on a busy processor");
+      }
+      ws.idle[p] = 0;
+      --idle_count;
+      push_event(r.finish, -1 - r.proc);
+      ws.next_res_start[p] = r.next_on_proc >= 0
+                                 ? ws.reservations[static_cast<std::size_t>(
+                                                       r.next_on_proc)]
+                                       .start
+                                 : kInf;
+      ++next_res;
+    }
+  };
+
+  activate_reservations(now);
+
+  while (remaining > 0) {
+    // Start every pending job that fits, in list order.
+    for (std::size_t j = 0; j < ws.jobs.size() && idle_count > 0; ++j) {
+      if (ws.done[j]) continue;
+      const ListJob& job = ws.jobs[j];
+      if (job.release > now + kTol) continue;
+      if (job.nprocs > idle_count) continue;
+      // Pick the lowest-numbered idle processors that are reservation-free
+      // for [now, now + duration).
+      ws.chosen.clear();
+      const double finish = now + job.duration;
+      for (int p = 0; p < m && static_cast<int>(ws.chosen.size()) < job.nprocs;
+           ++p) {
+        const auto pi = static_cast<std::size_t>(p);
+        if (!ws.idle[pi]) continue;
+        if (ws.next_res_start[pi] < finish - kTol) continue;  // blocked
+        ws.chosen.push_back(p);
+      }
+      if (static_cast<int>(ws.chosen.size()) < job.nprocs) continue;
+      for (int p : ws.chosen) ws.idle[static_cast<std::size_t>(p)] = 0;
+      idle_count -= job.nprocs;
+      const auto e = static_cast<std::size_t>(job.task);
+      out.start[e] = now;
+      out.duration[e] = job.duration;
+      out.proc_begin[e] = static_cast<int>(out.proc_ids.size());
+      out.proc_count[e] = job.nprocs;
+      out.proc_ids.insert(out.proc_ids.end(), ws.chosen.begin(),
+                          ws.chosen.end());
+      push_event(finish, job.task);
+      ws.done[j] = 1;
+      --remaining;
+    }
+    if (remaining == 0) break;
+
+    // Advance time to the next finish event, job release, or reservation
+    // start.
+    double next_time = ws.events.empty() ? kInf : ws.events.front().time;
+    for (std::size_t j = 0; j < ws.jobs.size(); ++j) {
+      if (!ws.done[j] && ws.jobs[j].release > now + kTol) {
+        next_time = std::min(next_time, ws.jobs[j].release);
+      }
+    }
+    if (next_res < ws.reservations.size()) {
+      next_time = std::min(next_time, ws.reservations[next_res].start);
+    }
+    if (!std::isfinite(next_time) || next_time <= now + kTol) {
+      // No event can unblock the remaining jobs: impossible unless a job
+      // needs more processors than will ever be simultaneously free.
+      throw std::logic_error("list_schedule: deadlock (jobs cannot fit)");
+    }
+    now = next_time;
+    while (!ws.events.empty() && ws.events.front().time <= now + kTol) {
+      const auto event = ws.events.front();
+      std::pop_heap(ws.events.begin(), ws.events.end(), EventLater{});
+      ws.events.pop_back();
+      if (event.entry >= 0) {
+        const auto e = static_cast<std::size_t>(event.entry);
+        const auto begin = static_cast<std::size_t>(out.proc_begin[e]);
+        const auto count = static_cast<std::size_t>(out.proc_count[e]);
+        for (std::size_t i = begin; i < begin + count; ++i) {
+          ws.idle[static_cast<std::size_t>(out.proc_ids[i])] = 1;
+        }
+        idle_count += out.proc_count[e];
+      } else {
+        ws.idle[static_cast<std::size_t>(-1 - event.entry)] = 1;
+        ++idle_count;
+      }
+    }
+    activate_reservations(now);
+  }
+}
+
 Schedule list_schedule(int m, int num_tasks, const std::vector<ListJob>& jobs,
                        const ListScheduleOptions& options) {
-  Schedule schedule(m, num_tasks);
+  // Validate here so the allocation-free core can trust its inputs; same
+  // checks and messages as the Schedule-based implementation had.
+  if (m < 1) throw std::invalid_argument("Schedule: m must be >= 1");
+  if (num_tasks < 0) {
+    throw std::invalid_argument("Schedule: num_tasks must be >= 0");
+  }
   std::vector<bool> seen(static_cast<std::size_t>(num_tasks), false);
   for (const auto& job : jobs) {
     if (job.task < 0 || job.task >= num_tasks) {
@@ -45,120 +195,11 @@ Schedule list_schedule(int m, int num_tasks, const std::vector<ListJob>& jobs,
       throw std::invalid_argument("list_schedule: negative release");
     }
   }
-
-  std::vector<bool> idle(static_cast<std::size_t>(m), true);
-  int idle_count = m;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> finish_events;
-
-  // Reservations: mark the processor busy now if the interval has begun, or
-  // schedule a "steal" at its start. To keep the machinery simple we require
-  // reservation intervals not to overlap each other on a processor; the
-  // online simulator guarantees this.
-  struct PendingReservation {
-    double start, finish;
-    int proc;
-  };
-  std::vector<PendingReservation> pending_res;
-  pending_res.reserve(options.reservations.size());
-  for (const auto& r : options.reservations) {
-    if (r.proc < 0 || r.proc >= m || !(r.finish > r.start)) {
-      throw std::invalid_argument("list_schedule: bad reservation");
-    }
-    pending_res.push_back({r.start, r.finish, r.proc});
-  }
-  std::sort(pending_res.begin(), pending_res.end(),
-            [](const auto& a, const auto& b) { return a.start < b.start; });
-  std::size_t next_res = 0;
-
-  std::vector<ListJob> pending(jobs.begin(), jobs.end());
-  std::vector<bool> done(pending.size(), false);
-  std::size_t remaining = pending.size();
-
-  double now = 0.0;
-  const double tol = 1e-12;
-
-  auto activate_reservations = [&](double t) {
-    while (next_res < pending_res.size() &&
-           pending_res[next_res].start <= t + tol) {
-      const auto& r = pending_res[next_res];
-      // The processor must be idle when the reservation begins; the caller
-      // (online simulator) aligns reservations with idle periods.
-      if (!idle[static_cast<std::size_t>(r.proc)]) {
-        throw std::logic_error(
-            "list_schedule: reservation starts on a busy processor");
-      }
-      idle[static_cast<std::size_t>(r.proc)] = false;
-      --idle_count;
-      finish_events.push(Event{r.finish, {r.proc}});
-      ++next_res;
-    }
-  };
-
-  activate_reservations(now);
-
-  while (remaining > 0) {
-    // Start every pending job that fits, in list order.
-    for (std::size_t j = 0; j < pending.size() && idle_count > 0; ++j) {
-      if (done[j]) continue;
-      const ListJob& job = pending[j];
-      if (job.release > now + tol) continue;
-      if (job.nprocs > idle_count) continue;
-      // Check no reservation begins on a chosen processor before the job
-      // would finish: pick the lowest-numbered idle processors that are
-      // reservation-free for [now, now + duration).
-      std::vector<int> chosen;
-      chosen.reserve(static_cast<std::size_t>(job.nprocs));
-      const double finish = now + job.duration;
-      for (int p = 0; p < m && static_cast<int>(chosen.size()) < job.nprocs;
-           ++p) {
-        if (!idle[static_cast<std::size_t>(p)]) continue;
-        bool blocked = false;
-        for (std::size_t r = next_res; r < pending_res.size(); ++r) {
-          if (pending_res[r].proc == p && pending_res[r].start < finish - tol) {
-            blocked = true;
-            break;
-          }
-        }
-        if (!blocked) chosen.push_back(p);
-      }
-      if (static_cast<int>(chosen.size()) < job.nprocs) continue;
-      for (int p : chosen) idle[static_cast<std::size_t>(p)] = false;
-      idle_count -= job.nprocs;
-      schedule.place(job.task, now, job.duration, chosen);
-      finish_events.push(Event{finish, std::move(chosen)});
-      done[j] = true;
-      --remaining;
-    }
-    if (remaining == 0) break;
-
-    // Advance time to the next finish event, job release, or reservation
-    // start.
-    double next_time = kInf;
-    if (!finish_events.empty()) next_time = finish_events.top().time;
-    for (std::size_t j = 0; j < pending.size(); ++j) {
-      if (!done[j] && pending[j].release > now + tol) {
-        next_time = std::min(next_time, pending[j].release);
-      }
-    }
-    if (next_res < pending_res.size()) {
-      next_time = std::min(next_time, pending_res[next_res].start);
-    }
-    if (!std::isfinite(next_time) || next_time <= now + tol) {
-      // No event can unblock the remaining jobs: impossible unless a job
-      // needs more processors than will ever be simultaneously free.
-      throw std::logic_error("list_schedule: deadlock (jobs cannot fit)");
-    }
-    now = next_time;
-    while (!finish_events.empty() && finish_events.top().time <= now + tol) {
-      for (int p : finish_events.top().procs) {
-        idle[static_cast<std::size_t>(p)] = true;
-        ++idle_count;
-      }
-      finish_events.pop();
-    }
-    activate_reservations(now);
-  }
-  return schedule;
+  thread_local ListPassWorkspace ws;
+  thread_local FlatPlacements flat;
+  ws.jobs.assign(jobs.begin(), jobs.end());
+  list_schedule_into(m, num_tasks, options.reservations, ws, flat);
+  return flat.to_schedule(m);
 }
 
 }  // namespace moldsched

@@ -1,0 +1,70 @@
+/// \file allotment_table.hpp
+/// Binary-searchable per-task allotment tables. The dual-approximation
+/// bisection and the DEMT batch loop both keep asking the same two
+/// questions for varying deadlines — "smallest allowed k with
+/// time(k) <= d" (the canonical allotment) and "work-minimising allowed k
+/// with time(k) <= d" — and the task's answers depend only on its fixed
+/// time vector. Sorting the allotments once by execution time and
+/// attaching prefix argmins turns both queries into O(log max_procs)
+/// lookups, replacing the O(max_procs) scans that used to run inside every
+/// dual_test call and every batch construction.
+///
+/// The tables reproduce MoldableTask::canonical_allotment and
+/// ::min_work_allotment bit-for-bit (same comparisons, same tie-breaks), so
+/// swapping them in cannot change any schedule.
+
+#pragma once
+
+#include <vector>
+
+#include "tasks/instance.hpp"
+#include "tasks/moldable_task.hpp"
+
+namespace moldsched {
+
+class AllotmentTable {
+ public:
+  AllotmentTable() = default;
+  explicit AllotmentTable(const MoldableTask& task);
+
+  /// Smallest allowed k with time(k) <= deadline, or 0 when none exists.
+  /// Matches MoldableTask::canonical_allotment exactly.
+  [[nodiscard]] int canonical(double deadline) const noexcept;
+
+  /// Work-minimising allowed k with time(k) <= deadline (smallest such k on
+  /// work ties), or 0. Matches MoldableTask::min_work_allotment exactly.
+  [[nodiscard]] int min_work(double deadline) const noexcept;
+
+  /// True when the task is strictly time- and work-monotone (no tolerance):
+  /// time(k) non-increasing and work(k) non-decreasing over the allowed
+  /// range. For such tasks the shelf-1 Pareto set of the dual test
+  /// collapses to the single canonical allotment.
+  [[nodiscard]] bool strictly_monotone() const noexcept { return monotone_; }
+
+ private:
+  /// Allowed allotments sorted by (time asc, k asc); parallel prefix
+  /// argmins answer both queries after an upper_bound on the time.
+  std::vector<double> sorted_times_;
+  std::vector<int> prefix_min_k_;
+  std::vector<int> prefix_min_work_k_;
+  bool monotone_ = false;
+};
+
+/// All tasks' tables, built once per Instance traversal (one DEMT call, one
+/// dual-approximation search) and shared by every stage.
+class InstanceAllotments {
+ public:
+  explicit InstanceAllotments(const Instance& instance);
+
+  [[nodiscard]] const AllotmentTable& table(int task) const {
+    return tables_[static_cast<std::size_t>(task)];
+  }
+  [[nodiscard]] int num_tasks() const noexcept {
+    return static_cast<int>(tables_.size());
+  }
+
+ private:
+  std::vector<AllotmentTable> tables_;
+};
+
+}  // namespace moldsched

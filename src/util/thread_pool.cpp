@@ -4,6 +4,12 @@
 
 namespace moldsched {
 
+namespace {
+thread_local bool t_is_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::this_thread_is_worker() noexcept { return t_is_pool_worker; }
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -37,19 +43,28 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& f) {
+  parallel_for_slots(begin, end,
+                     [&f](std::size_t, std::size_t i) { f(i); });
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t slot, std::size_t i)>& f,
+    std::size_t max_strands) {
   if (begin >= end) return;
   // Dynamic scheduling through a shared atomic index: run durations vary a
   // lot (the LP solve dominates some runs), so static chunking would idle
-  // workers.
+  // workers. Each submitted strand keeps its slot for all indices it pulls.
   auto next = std::make_shared<std::atomic<std::size_t>>(begin);
-  const std::size_t n_workers = std::min<std::size_t>(size(), end - begin);
+  std::size_t n_workers = std::min<std::size_t>(size(), end - begin);
+  if (max_strands > 0) n_workers = std::min(n_workers, max_strands);
   std::vector<std::future<void>> futures;
   futures.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
-    futures.push_back(submit([next, end, &f] {
+    futures.push_back(submit([next, end, w, &f] {
       for (std::size_t i = next->fetch_add(1); i < end;
            i = next->fetch_add(1)) {
-        f(i);
+        f(w, i);
       }
     }));
   }
@@ -64,7 +79,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+ThreadPool& shared_thread_pool() {
+  static ThreadPool pool;  // workers join at program exit
+  return pool;
+}
+
 void ThreadPool::worker_loop() {
+  t_is_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -37,7 +37,21 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& f);
 
+  /// Like parallel_for, but the body also receives a stable slot index in
+  /// [0, min(size(), end - begin, max_strands)): two concurrent invocations
+  /// never share a slot, so callers can hand each strand its own reusable
+  /// workspace. `max_strands` == 0 means "as many as the pool has".
+  void parallel_for_slots(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t slot, std::size_t i)>& f,
+      std::size_t max_strands = 0);
+
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True when the calling thread is a worker of ANY ThreadPool. Blocking
+  /// on pool work from inside a pool worker can deadlock; nested parallel
+  /// stages use this to fall back to sequential execution instead.
+  [[nodiscard]] static bool this_thread_is_worker() noexcept;
 
  private:
   void worker_loop();
@@ -48,5 +62,12 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Process-wide pool (hardware-concurrency workers), created on first use.
+/// Used as the default executor for DEMT's shuffle candidates and for
+/// experiment replicates when the caller does not supply a pool. Never
+/// submit to this pool from inside one of its own tasks (the caller would
+/// block a worker while waiting for workers).
+[[nodiscard]] ThreadPool& shared_thread_pool();
 
 }  // namespace moldsched
