@@ -86,11 +86,32 @@ std::vector<Variant> variants() {
 
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
+  if (args.help_requested()) {
+    std::cout
+        << "ablation_demt -- contribution of each DEMT design choice\n"
+        << "(merging, compaction stage, shuffles, stack ordering), as\n"
+        << "ratio-of-sums against the figure lower bounds.\n\n"
+        << "  --sizes a,b,c   task counts [150,400]\n"
+        << "  --m N           processors [200]\n"
+        << "  --runs N        instances per point [10]\n"
+        << "  --seed S        base seed [20040627]\n"
+        << "  --quick         sizes 100; runs 3\n\n"
+        << "Output: aligned text table on stdout (one block per workload\n"
+        << "family, one row per variant); this bench emits no JSON or\n"
+        << "CSV.\n";
+    return 0;
+  }
   // Two load levels: m >= n (the knapsack rarely rejects, merging is moot)
   // and n >> m (small-task stacking and batch order decisions bite).
-  const std::vector<int> ns = args.get_int_list("sizes", {150, 400});
+  std::vector<int> default_ns = {150, 400};
+  int default_runs = 10;
+  if (args.has("quick")) {
+    default_ns = {100};
+    default_runs = 3;
+  }
+  const std::vector<int> ns = args.get_int_list("sizes", default_ns);
   const int m = static_cast<int>(args.get_int("m", 200));
-  const int runs = static_cast<int>(args.get_int("runs", 10));
+  const int runs = static_cast<int>(args.get_int("runs", default_runs));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20040627));
 
   std::cout << strfmt(

@@ -26,6 +26,26 @@
 int main(int argc, char** argv) {
   using namespace moldsched;
   const ArgParser args(argc, argv);
+  if (args.help_requested()) {
+    std::cout
+        << "fig7_runtime -- DEMT wall-clock vs task count (paper Fig. 7)\n\n"
+        << "  --sizes a,b,c        task counts [25..400]\n"
+        << "  --m N                processors [200]\n"
+        << "  --runs N             instances per point [10]\n"
+        << "  --seed S             base seed [20040627]\n"
+        << "  --shuffles N         shuffle candidates per DEMT call [8]\n"
+        << "  --shuffle-workers K  0 = all pool workers, 1 = sequential [1]\n"
+        << "  --quick              sizes 25,100,400\n"
+        << "  --csv PATH           also write CSV (n, family, mean_s,\n"
+        << "                       min_s, max_s)\n"
+        << "  --json PATH          JSON report [BENCH_demt.json]; \"\" off\n\n"
+        << "JSON schema: {benchmark, m, runs, shuffles, shuffle_workers,\n"
+        << "results: [{n, family, mean_s, min_s, max_s, tasks_per_s,\n"
+        << "last_wc, last_cmax}]} -- last_wc/last_cmax record the final\n"
+        << "run's schedule metrics so parallel and sequential runs of the\n"
+        << "bench can be diffed for identical output, not just speed.\n";
+    return 0;
+  }
   std::vector<int> sizes = args.get_int_list(
       "sizes", {25, 50, 100, 150, 200, 250, 300, 350, 400});
   if (args.has("quick")) sizes = {25, 100, 400};

@@ -28,6 +28,29 @@ namespace moldsched {
 
 inline int run_figure_main(int argc, char** argv, FigureConfig config) {
   const ArgParser args(argc, argv);
+  if (args.help_requested()) {
+    std::cout
+        << config.title << " reproduction harness\n\n"
+        << "  --sizes a,b,c   task counts [25..400]\n"
+        << "  --m N           processors [200]\n"
+        << "  --runs N        instances per point [40]\n"
+        << "  --seed S        base seed [20040627]\n"
+        << "  --csv PATH      also write CSV\n"
+        << "  --gnuplot PFX   write PFX.dat + PFX.gp (two-panel figure)\n"
+        << "  --threads N     worker threads [hardware]\n"
+        << "  --quick         sizes 25,50,100; runs 5\n"
+        << "  --verbose       progress logging\n\n"
+        << "Outputs: paper-style text report on stdout; --csv writes one\n"
+        << "row per (n, algorithm) with columns figure, family, m, runs,\n"
+        << "n, algorithm, minsum_ratio_{avg,min,max},\n"
+        << "cmax_ratio_{avg,min,max}, runtime_mean_s, lp_bound_mean,\n"
+        << "cmax_lb_mean. This\n"
+        << "harness emits no JSON; the JSON-emitting benches are\n"
+        << "fig7_runtime (BENCH_demt.json), micro_components\n"
+        << "(BENCH_demt_micro.json) and engine_throughput\n"
+        << "(BENCH_engine.json) -- see their --help for schemas.\n";
+    return 0;
+  }
   if (args.has("verbose")) set_log_level(LogLevel::Info);
   if (args.has("quick")) {
     config.ns = {25, 50, 100};

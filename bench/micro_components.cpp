@@ -124,6 +124,23 @@ void write_json(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace moldsched;
   const ArgParser args(argc, argv);
+  if (args.help_requested()) {
+    std::cout
+        << "micro_components -- per-component micro costs of the DEMT\n"
+        << "pipeline (knapsack, generators, dual-approx search, list\n"
+        << "scheduler, batch build, full DEMT), with a global operator-new\n"
+        << "hook verifying the zero-allocation shuffle loop.\n\n"
+        << "  --sizes a,b,c   task counts [25,100,400]\n"
+        << "  --m N           processors [200]\n"
+        << "  --quick         sizes 50,200\n"
+        << "  --json PATH     JSON report [BENCH_demt_micro.json]; \"\" off\n\n"
+        << "JSON schema: {benchmark, results: [{name, n, reps,\n"
+        << "per_call_s, tasks_per_s, allocs_per_call}]} -- one row per\n"
+        << "(component, n); allocs_per_call = -1 when not measured; the\n"
+        << "shuffle_alloc_delta row reports heap allocations per extra\n"
+        << "shuffle iteration (must be ~0).\n";
+    return 0;
+  }
   const std::vector<int> sizes =
       args.has("quick") ? std::vector<int>{50, 200}
                         : args.get_int_list("sizes", {25, 100, 400});

@@ -1,0 +1,35 @@
+# Documentation completeness check, run as a CTest (`docs_check`):
+# every public header under src/ must be mentioned (by file name) in
+# docs/API.md, so the API reference cannot silently rot as headers are
+# added. Invoke: cmake -DREPO=<repo root> -P cmake/docs_check.cmake
+if(NOT DEFINED REPO)
+  message(FATAL_ERROR "docs_check.cmake: pass -DREPO=<repository root>")
+endif()
+
+set(api_md "${REPO}/docs/API.md")
+if(NOT EXISTS "${api_md}")
+  message(FATAL_ERROR "docs_check: ${api_md} does not exist")
+endif()
+file(READ "${api_md}" api_text)
+
+file(GLOB_RECURSE headers RELATIVE "${REPO}" "${REPO}/src/*.hpp")
+list(SORT headers)
+
+set(missing "")
+foreach(header ${headers})
+  get_filename_component(name "${header}" NAME)
+  string(FIND "${api_text}" "${name}" found)
+  if(found EQUAL -1)
+    list(APPEND missing "${header}")
+  endif()
+endforeach()
+
+list(LENGTH headers total)
+if(missing)
+  list(JOIN missing "\n  " missing_pretty)
+  message(FATAL_ERROR
+          "docs_check: docs/API.md does not mention these public headers:\n"
+          "  ${missing_pretty}\n"
+          "Add them to the header index (or a deep section) in docs/API.md.")
+endif()
+message(STATUS "docs_check: all ${total} public headers covered by docs/API.md")

@@ -1,6 +1,7 @@
 #include "core/demt.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -159,10 +160,38 @@ std::pair<double, double> evaluate_shuffle_candidate(
 
 }  // namespace
 
+/// Every per-call buffer of the driver and the hot path. Reuse carries only
+/// capacity between calls — each field is cleared/re-filled before use.
+struct DemtWorkspace::Impl {
+  std::vector<int> pending;
+  std::vector<bool> remove;
+  std::vector<SelectedBatch> batches;
+  std::vector<BatchItem> flat_items;
+  std::vector<std::pair<int, int>> batch_ranges;
+  std::vector<int> identity_order;
+  std::vector<Rng> candidate_rngs;
+  std::vector<double> cand_wc;
+  std::vector<double> cand_cm;
+  ShuffleWorkspace main_ws;
+  std::vector<ShuffleWorkspace> strand_ws;
+};
+
+DemtWorkspace::DemtWorkspace() : impl_(std::make_unique<Impl>()) {}
+DemtWorkspace::~DemtWorkspace() = default;
+DemtWorkspace::DemtWorkspace(DemtWorkspace&&) noexcept = default;
+DemtWorkspace& DemtWorkspace::operator=(DemtWorkspace&&) noexcept = default;
+
 DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
+  DemtWorkspace workspace;
+  return demt_schedule(instance, options, workspace);
+}
+
+DemtResult demt_schedule(const Instance& instance, const DemtOptions& options,
+                         DemtWorkspace& workspace) {
   if (instance.empty()) {
     throw std::invalid_argument("demt_schedule: empty instance");
   }
+  DemtWorkspace::Impl& ws = *workspace.impl_;
 
   // Per-task allotment tables, shared by the dual-approximation search and
   // every batch construction below.
@@ -183,7 +212,8 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
   // is placed. The paper iterates to K; the knapsack may leave tasks over,
   // so we keep opening (doubling) batches — by j >= K every task is a
   // candidate, and each further batch selects at least one task.
-  std::vector<int> pending(static_cast<std::size_t>(instance.num_tasks()));
+  std::vector<int>& pending = ws.pending;
+  pending.resize(static_cast<std::size_t>(instance.num_tasks()));
   for (int i = 0; i < instance.num_tasks(); ++i) {
     pending[static_cast<std::size_t>(i)] = i;
   }
@@ -191,8 +221,10 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
   build_options.merge_small_tasks = options.merge_small_tasks;
   build_options.smith_order_stacks = options.smith_order_stacks;
 
-  std::vector<SelectedBatch> batches;
-  std::vector<bool> remove(static_cast<std::size_t>(instance.num_tasks()));
+  std::vector<SelectedBatch>& batches = ws.batches;
+  batches.clear();
+  std::vector<bool>& remove = ws.remove;
+  remove.assign(static_cast<std::size_t>(instance.num_tasks()), false);
   const int max_batches = grid.K() + 128;  // defensive cap; never reached
   for (int j = 0; !pending.empty(); ++j) {
     if (j > max_batches) {
@@ -234,16 +266,19 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
 
   // Full list pass in batch order; the flat item array preserves batch
   // boundaries through index ranges.
-  std::vector<BatchItem> flat_items;
-  std::vector<std::pair<int, int>> batch_ranges;  // [first, last) into flat
+  std::vector<BatchItem>& flat_items = ws.flat_items;
+  flat_items.clear();
+  std::vector<std::pair<int, int>>& batch_ranges = ws.batch_ranges;
+  batch_ranges.clear();  // [first, last) into flat
   for (const auto& batch : batches) {
     const int first = static_cast<int>(flat_items.size());
     for (const auto& item : batch.items) flat_items.push_back(item);
     batch_ranges.emplace_back(first, static_cast<int>(flat_items.size()));
   }
 
-  ShuffleWorkspace main_ws;
-  std::vector<int> identity_order(flat_items.size());
+  ShuffleWorkspace& main_ws = ws.main_ws;
+  std::vector<int>& identity_order = ws.identity_order;
+  identity_order.resize(flat_items.size());
   for (std::size_t i = 0; i < identity_order.size(); ++i) {
     identity_order[i] = static_cast<int>(i);
   }
@@ -276,13 +311,16 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
   if (shuffles <= 0) return DemtResult{std::move(best), diag};
 
   Rng rng(options.shuffle_seed);
-  std::vector<Rng> candidate_rngs;
+  std::vector<Rng>& candidate_rngs = ws.candidate_rngs;
+  candidate_rngs.clear();
   candidate_rngs.reserve(static_cast<std::size_t>(shuffles));
   for (int s = 0; s < shuffles; ++s) {
     candidate_rngs.push_back(rng.fork(static_cast<std::uint64_t>(s)));
   }
-  std::vector<double> cand_wc(static_cast<std::size_t>(shuffles));
-  std::vector<double> cand_cm(static_cast<std::size_t>(shuffles));
+  std::vector<double>& cand_wc = ws.cand_wc;
+  cand_wc.assign(static_cast<std::size_t>(shuffles), 0.0);
+  std::vector<double>& cand_cm = ws.cand_cm;
+  cand_cm.assign(static_cast<std::size_t>(shuffles), 0.0);
 
   int max_strands = options.shuffle_workers;
   if (max_strands <= 0) {
@@ -295,9 +333,9 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options) {
 
   if (max_strands > 1) {
     ThreadPool& pool = shared_thread_pool();
-    std::vector<ShuffleWorkspace> workspaces(
-        std::min<std::size_t>(pool.size(),
-                              static_cast<std::size_t>(max_strands)));
+    std::vector<ShuffleWorkspace>& workspaces = ws.strand_ws;
+    workspaces.resize(std::min<std::size_t>(
+        pool.size(), static_cast<std::size_t>(max_strands)));
     pool.parallel_for_slots(
         0, static_cast<std::size_t>(shuffles),
         [&](std::size_t slot, std::size_t s) {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "sched/schedule.hpp"
 #include "tasks/instance.hpp"
@@ -92,9 +93,37 @@ struct DemtResult {
   DemtDiagnostics diag;
 };
 
+/// Reusable buffers for repeated demt_schedule calls: the shuffle/list/
+/// compaction workspaces of the hot path plus every per-call scratch vector
+/// of the driver (pending sets, batch ranges, candidate RNG streams, ...).
+/// One workspace per thread/strand — the engine pools one per strand so a
+/// server-style request stream stops re-warming buffers on every request.
+/// Reuse never changes results: a workspace only carries capacity, not
+/// state, between calls.
+class DemtWorkspace {
+ public:
+  DemtWorkspace();
+  ~DemtWorkspace();
+  DemtWorkspace(DemtWorkspace&&) noexcept;
+  DemtWorkspace& operator=(DemtWorkspace&&) noexcept;
+
+ private:
+  friend DemtResult demt_schedule(const Instance& instance,
+                                  const DemtOptions& options,
+                                  DemtWorkspace& workspace);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Schedule the instance. Throws std::invalid_argument on an empty
 /// instance. The returned schedule is always complete and feasible.
 [[nodiscard]] DemtResult demt_schedule(const Instance& instance,
                                        const DemtOptions& options = {});
+
+/// Same algorithm, reusing a caller-owned workspace across calls (identical
+/// results; only the allocation profile changes).
+[[nodiscard]] DemtResult demt_schedule(const Instance& instance,
+                                       const DemtOptions& options,
+                                       DemtWorkspace& workspace);
 
 }  // namespace moldsched

@@ -1,0 +1,165 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace moldsched {
+
+void flat_list_schedule(const Instance& instance, ListPassWorkspace& list,
+                        FlatPlacements& out) {
+  const int n = instance.num_tasks();
+  list.jobs.clear();
+  for (int t = 0; t < n; ++t) {
+    const MoldableTask& task = instance.task(t);
+    const int k = task.min_work_procs();
+    list.jobs.push_back(ListJob{t, k, task.time(k), 0.0});
+  }
+  // Smith ratio decreasing; task id breaks ties so the order (and thus the
+  // schedule) is deterministic. std::sort, not stable_sort: the latter may
+  // allocate its merge buffer, and the explicit tie-break already pins the
+  // order.
+  std::sort(list.jobs.begin(), list.jobs.end(),
+            [&](const ListJob& a, const ListJob& b) {
+              const double ra =
+                  instance.task(a.task).weight() / a.duration;
+              const double rb =
+                  instance.task(b.task).weight() / b.duration;
+              if (ra != rb) return ra > rb;
+              return a.task < b.task;
+            });
+  static const std::vector<BusyInterval> kNoReservations;
+  list_schedule_into(instance.procs(), n, kNoReservations, list, out);
+}
+
+namespace {
+
+void serve_offline(const EngineRequest& request, bool keep_schedules,
+                   EngineWorkspace& ws, EngineResult& out) {
+  if (request.instance == nullptr) {
+    throw std::invalid_argument("SchedulerEngine: request without instance");
+  }
+  const Instance& instance = *request.instance;
+  out.has_schedule = false;
+  switch (request.algorithm) {
+    case EngineAlgorithm::Demt: {
+      DemtResult result = demt_schedule(instance, request.demt, ws.demt);
+      out.cmax = result.schedule.cmax();
+      out.weighted_completion_sum =
+          result.schedule.weighted_completion_sum(instance);
+      out.diag = result.diag;
+      if (keep_schedules) {
+        out.schedule = std::move(result.schedule);
+        out.has_schedule = true;
+      }
+      return;
+    }
+    case EngineAlgorithm::FlatList: {
+      flat_list_schedule(instance, ws.list, ws.flat);
+      out.cmax = ws.flat.cmax();
+      out.weighted_completion_sum =
+          ws.flat.weighted_completion_sum(instance);
+      out.diag = DemtDiagnostics{};
+      if (keep_schedules) {
+        out.schedule = ws.flat.to_schedule(instance.procs());
+        out.has_schedule = true;
+      }
+      return;
+    }
+  }
+  throw std::logic_error("SchedulerEngine: unknown algorithm");
+}
+
+void serve_online(const OnlineRequest& request, EngineWorkspace& ws,
+                  FlatOnlineResult& out) {
+  if (request.jobs == nullptr) {
+    throw std::invalid_argument("SchedulerEngine: request without jobs");
+  }
+  static const std::vector<NodeReservation> kNoReservations;
+  const std::vector<NodeReservation>& reservations =
+      request.reservations != nullptr ? *request.reservations
+                                      : kNoReservations;
+  FlatOfflineScheduler offline;
+  if (request.offline_algorithm == EngineAlgorithm::FlatList) {
+    // Capture-less: fits std::function's small-object storage.
+    offline = [](const Instance& batch, OnlineWorkspace& ows,
+                 FlatPlacements& placed) {
+      flat_list_schedule(batch, ows.list, placed);
+    };
+  } else {
+    ws.online_demt = request.demt;
+    EngineWorkspace* strand = &ws;  // one-pointer capture: stays in SBO
+    offline = [strand](const Instance& batch, OnlineWorkspace& /*ows*/,
+                       FlatPlacements& placed) {
+      placed.assign_from(
+          demt_schedule(batch, strand->online_demt, strand->demt).schedule);
+    };
+  }
+  online_batch_schedule_into(request.m, *request.jobs, offline, reservations,
+                             ws.online, out);
+}
+
+}  // namespace
+
+SchedulerEngine::SchedulerEngine(EngineOptions options)
+    : options_(options) {
+  if (options_.workers < 0) {
+    throw std::invalid_argument("SchedulerEngine: workers < 0");
+  }
+}
+
+std::size_t SchedulerEngine::strand_count(std::size_t count) const {
+  if (count <= 1 || options_.workers == 1) return 1;
+  // From inside a pool worker the dispatch runs inline anyway.
+  if (ThreadPool::this_thread_is_worker()) return 1;
+  std::size_t strands = shared_thread_pool().size();
+  if (options_.workers > 0) {
+    strands = std::min(strands, static_cast<std::size_t>(options_.workers));
+  }
+  return std::max<std::size_t>(1, std::min(strands, count));
+}
+
+std::vector<EngineResult> SchedulerEngine::schedule_batch(
+    const std::vector<EngineRequest>& requests) {
+  std::vector<EngineResult> results;
+  schedule_batch(requests, results);
+  return results;
+}
+
+void SchedulerEngine::schedule_batch(
+    const std::vector<EngineRequest>& requests,
+    std::vector<EngineResult>& results) {
+  results.resize(requests.size());
+  run_indexed(requests.size(),
+              [&](EngineWorkspace& ws, std::size_t i) {
+                serve_offline(requests[i], options_.keep_schedules, ws,
+                              results[i]);
+              });
+  stats_.requests += requests.size();
+}
+
+std::vector<EngineResult> SchedulerEngine::schedule_all(
+    const std::vector<Instance>& instances, EngineAlgorithm algorithm,
+    const DemtOptions& demt) {
+  std::vector<EngineRequest> requests(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    requests[i].instance = &instances[i];
+    requests[i].algorithm = algorithm;
+    requests[i].demt = demt;
+  }
+  return schedule_batch(requests);
+}
+
+void SchedulerEngine::simulate_batch(
+    const std::vector<OnlineRequest>& requests,
+    std::vector<FlatOnlineResult>& results) {
+  results.resize(requests.size());
+  run_indexed(requests.size(), [&](EngineWorkspace& ws, std::size_t i) {
+    serve_online(requests[i], ws, results[i]);
+  });
+  stats_.online_requests += requests.size();
+}
+
+}  // namespace moldsched

@@ -1,0 +1,180 @@
+/// \file engine.hpp
+/// Multi-instance batch scheduling engine: the server-style entry point of
+/// moldsched. A SchedulerEngine accepts many independent scheduling
+/// requests — off-line instances (the paper's batch of released jobs) or
+/// whole on-line simulations — and runs them concurrently on the
+/// process-wide shared_thread_pool(), one pooled EngineWorkspace per
+/// strand, so a steady request stream stops re-warming buffers on every
+/// request.
+///
+/// Determinism contract: results depend only on the requests, never on the
+/// worker count. Requests are independent, each runs with per-request
+/// options inside its strand's workspace, and results are written at the
+/// request's index — `schedule_batch` with 1, 2, 4 or all workers returns
+/// bit-identical results (mirrored by tests/test_engine.cpp). DEMT calls
+/// that land on a pool worker evaluate their shuffle candidates
+/// sequentially (nested-pool fallback), which by the shuffle engine's
+/// replay design does not change the schedule either.
+///
+/// Allocation contract: the engine's own dispatch adds no per-request heap
+/// allocation in steady state. FlatList requests in metrics-only mode
+/// (`keep_schedules == false`) are fully allocation-free after warm-up;
+/// Demt requests reuse a per-strand DemtWorkspace (the remaining
+/// allocations are demt_schedule internals — allotment tables, batch item
+/// vectors, the result Schedule). bench/engine_throughput.cpp measures all
+/// three numbers.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demt.hpp"
+#include "sched/flat_schedule.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "sim/online.hpp"
+#include "tasks/instance.hpp"
+#include "util/thread_pool.hpp"
+
+namespace moldsched {
+
+/// Scheduling algorithm a request runs.
+enum class EngineAlgorithm {
+  /// Full bi-criteria DEMT (paper §3.2). Highest quality; allocates inside
+  /// demt_schedule (workspace-reduced).
+  Demt,
+  /// Min-work allotments + one Smith-ordered flat list pass. A fast,
+  /// allocation-free baseline for latency-critical serving.
+  FlatList,
+};
+
+/// One off-line request: schedule `*instance` with `algorithm`. The
+/// instance is borrowed — the caller keeps it alive until the batch call
+/// returns.
+struct EngineRequest {
+  const Instance* instance = nullptr;
+  EngineAlgorithm algorithm = EngineAlgorithm::Demt;
+  DemtOptions demt;  ///< options when algorithm == EngineAlgorithm::Demt
+};
+
+/// One on-line simulation request: run the batch framework for `*jobs` on
+/// an m-processor machine, with `offline_algorithm` as the per-batch
+/// off-line scheduler.
+struct OnlineRequest {
+  int m = 1;
+  const std::vector<OnlineJob>* jobs = nullptr;
+  /// Optional node reservations (nullptr = none).
+  const std::vector<NodeReservation>* reservations = nullptr;
+  EngineAlgorithm offline_algorithm = EngineAlgorithm::Demt;
+  DemtOptions demt;
+};
+
+struct EngineResult {
+  double cmax = 0.0;
+  double weighted_completion_sum = 0.0;
+  /// Materialised placements; only valid when `has_schedule` (metrics-only
+  /// mode skips materialisation to keep the hot path allocation-free).
+  bool has_schedule = false;
+  Schedule schedule{1, 0};
+  DemtDiagnostics diag;  ///< meaningful for Demt requests only
+};
+
+struct EngineOptions {
+  /// Worker strands per batch call: 0 = every shared-pool worker, 1 = run
+  /// on the calling thread (no pool round-trip), k > 1 = cap at k. Results
+  /// are identical for every setting.
+  int workers = 0;
+  /// Materialise a Schedule per result. false = metrics-only serving mode.
+  bool keep_schedules = true;
+};
+
+/// Cumulative counters; read through SchedulerEngine::stats().
+struct EngineStats {
+  std::uint64_t requests = 0;         ///< off-line requests served
+  std::uint64_t online_requests = 0;  ///< on-line simulations served
+  std::uint64_t batches = 0;          ///< batch calls dispatched
+  int strands_last_batch = 1;         ///< concurrency of the last call
+};
+
+/// Per-strand reusable state: every buffer a request of either kind needs.
+/// The engine owns one per strand; two concurrent requests never share one.
+struct EngineWorkspace {
+  DemtWorkspace demt;
+  ListPassWorkspace list;      ///< FlatList scratch
+  FlatPlacements flat;         ///< FlatList output
+  OnlineWorkspace online;      ///< on-line simulator state
+  /// Per-request DEMT options for the on-line off-line plug-in; staged
+  /// here so the plug-in lambda captures one pointer (fits std::function's
+  /// small-object storage — no per-request allocation).
+  DemtOptions online_demt;
+};
+
+/// The FlatList algorithm: give every task its min-work allotment, order by
+/// Smith ratio (weight/duration decreasing, task id tie-break), run one
+/// allocation-free list pass into `out`. Exposed for tests and for use as a
+/// flat off-line plug-in inside the on-line simulator.
+void flat_list_schedule(const Instance& instance, ListPassWorkspace& list,
+                        FlatPlacements& out);
+
+class SchedulerEngine {
+ public:
+  explicit SchedulerEngine(EngineOptions options = {});
+
+  /// Serve every off-line request; results[i] answers requests[i].
+  /// Deterministic for any worker count. Not thread-safe: one batch call at
+  /// a time per engine.
+  [[nodiscard]] std::vector<EngineResult> schedule_batch(
+      const std::vector<EngineRequest>& requests);
+
+  /// Same, reusing the caller's result storage (steady-state serving loop).
+  void schedule_batch(const std::vector<EngineRequest>& requests,
+                      std::vector<EngineResult>& results);
+
+  /// Convenience: one algorithm/options for a whole instance set.
+  [[nodiscard]] std::vector<EngineResult> schedule_all(
+      const std::vector<Instance>& instances,
+      EngineAlgorithm algorithm = EngineAlgorithm::Demt,
+      const DemtOptions& demt = {});
+
+  /// Serve every on-line simulation request; results[i] answers
+  /// requests[i]. Reuses the caller's result storage.
+  void simulate_batch(const std::vector<OnlineRequest>& requests,
+                      std::vector<FlatOnlineResult>& results);
+
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Dispatch `count` indexed work items over the strands (inline when one
+  /// strand, shared pool otherwise) and update the dispatch stats. A
+  /// template, not std::function: the single-strand serving loop must not
+  /// allocate per batch call.
+  template <typename Body>
+  void run_indexed(std::size_t count, const Body& body) {
+    if (count == 0) return;
+    const std::size_t strands = strand_count(count);
+    if (workspaces_.size() < strands) workspaces_.resize(strands);
+    if (workspaces_.empty()) workspaces_.resize(1);
+    if (strands == 1) {
+      for (std::size_t i = 0; i < count; ++i) body(workspaces_[0], i);
+    } else {
+      shared_thread_pool().parallel_for_slots(
+          0, count,
+          [&](std::size_t slot, std::size_t i) { body(workspaces_[slot], i); },
+          strands);
+    }
+    ++stats_.batches;
+    stats_.strands_last_batch = static_cast<int>(strands);
+  }
+
+  [[nodiscard]] std::size_t strand_count(std::size_t count) const;
+
+  EngineOptions options_;
+  EngineStats stats_;
+  std::vector<EngineWorkspace> workspaces_;
+};
+
+}  // namespace moldsched

@@ -13,6 +13,20 @@ void FlatPlacements::reset(int num_entries) {
   proc_ids.clear();
 }
 
+void FlatPlacements::assign_from(const Schedule& schedule) {
+  reset(schedule.num_tasks());
+  for (int t = 0; t < schedule.num_tasks(); ++t) {
+    if (!schedule.assigned(t)) continue;
+    const Placement& p = schedule.placement(t);
+    const auto e = static_cast<std::size_t>(t);
+    start[e] = p.start;
+    duration[e] = p.duration;
+    proc_begin[e] = static_cast<int>(proc_ids.size());
+    proc_count[e] = p.nprocs();
+    proc_ids.insert(proc_ids.end(), p.procs.begin(), p.procs.end());
+  }
+}
+
 double FlatPlacements::cmax() const noexcept {
   double best = 0.0;
   for (std::size_t e = 0; e < start.size(); ++e) {

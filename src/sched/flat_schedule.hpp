@@ -32,6 +32,13 @@ struct FlatPlacements {
   /// Clear to `num_entries` unassigned entries; keeps buffer capacity.
   void reset(int num_entries);
 
+  /// Copy a Schedule into the flat form, reusing buffer capacity (the
+  /// bridge the online simulator and the engine use to run Schedule-based
+  /// plug-ins on the flat path). Unassigned tasks stay unassigned entries;
+  /// every double is copied verbatim, so metrics computed on the flat copy
+  /// are bit-identical to the Schedule's own.
+  void assign_from(const Schedule& schedule);
+
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(start.size());
   }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "util/strfmt.hpp"
 
@@ -10,96 +9,146 @@ namespace moldsched {
 
 namespace {
 
-struct Event {
-  double time;
-  bool is_finish;  // finishes processed before starts at equal time
-  int task;
+/// Processing order: time ascending, finishes before starts at equal time
+/// (so back-to-back placements do not conflict), task id as the final
+/// tie-break to keep the replay deterministic.
+bool earlier(const SimWorkspace::Event& a,
+             const SimWorkspace::Event& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.is_finish != b.is_finish) return a.is_finish > b.is_finish;
+  return a.task < b.task;
+}
 
-  bool operator>(const Event& other) const {
-    if (time != other.time) return time > other.time;
-    // Finish events first so back-to-back placements do not conflict.
-    return is_finish < other.is_finish;
-  }
-};
+/// Max-heap comparator whose root is the EARLIEST event.
+bool later(const SimWorkspace::Event& a,
+           const SimWorkspace::Event& b) noexcept {
+  return earlier(b, a);
+}
 
 }  // namespace
 
-SimResult simulate_execution(const Schedule& schedule, const Instance& instance) {
-  SimResult result;
+void simulate_execution(const FlatPlacements& flat, const Instance& instance,
+                        SimWorkspace& ws, SimResult& out) {
+  out.ok = true;
+  out.errors.clear();
+  out.cmax = 0.0;
+  out.weighted_completion_sum = 0.0;
+  out.busy_area = 0.0;
+  out.utilisation = 0.0;
+  out.events = 0;
+
   const int n = instance.num_tasks();
   const int m = instance.procs();
-  if (schedule.num_tasks() != n || schedule.procs() != m) {
-    result.ok = false;
-    result.errors.emplace_back("schedule/instance shape mismatch");
-    return result;
+  out.completion.assign(static_cast<std::size_t>(n), 0.0);
+  if (flat.size() != n) {
+    out.ok = false;
+    out.errors.emplace_back("schedule/instance shape mismatch");
+    return;
   }
 
-  result.completion.assign(static_cast<std::size_t>(n), 0.0);
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  ws.heap.clear();
   for (int i = 0; i < n; ++i) {
-    if (!schedule.assigned(i)) {
-      result.ok = false;
-      result.errors.push_back(strfmt("task %d never starts", i));
+    const auto e = static_cast<std::size_t>(i);
+    if (!flat.assigned(i)) {
+      out.ok = false;
+      out.errors.push_back(strfmt("task %d never starts", i));
       continue;
     }
-    const Placement& p = schedule.placement(i);
-    const double expected = instance.task(i).time(p.nprocs());
-    if (std::abs(expected - p.duration) > 1e-9) {
-      result.ok = false;
-      result.errors.push_back(
+    const double expected = instance.task(i).time(flat.proc_count[e]);
+    if (std::abs(expected - flat.duration[e]) > 1e-9) {
+      out.ok = false;
+      out.errors.push_back(
           strfmt("task %d duration %.12g does not match model %.12g", i,
-                 p.duration, expected));
+                 flat.duration[e], expected));
     }
-    events.push(Event{p.start, false, i});
-    events.push(Event{p.finish(), true, i});
-  }
-
-  std::vector<int> owner(static_cast<std::size_t>(m), -1);  // running task
-  while (!events.empty()) {
-    const Event e = events.top();
-    events.pop();
-    ++result.events;
-    const Placement& p = schedule.placement(e.task);
-    if (e.is_finish) {
-      for (int proc : p.procs) {
-        if (owner[static_cast<std::size_t>(proc)] == e.task) {
-          owner[static_cast<std::size_t>(proc)] = -1;
-        }
+    bool procs_ok = true;
+    const auto begin = static_cast<std::size_t>(flat.proc_begin[e]);
+    const auto count = static_cast<std::size_t>(flat.proc_count[e]);
+    for (std::size_t p = begin; p < begin + count; ++p) {
+      if (flat.proc_ids[p] < 0 || flat.proc_ids[p] >= m) {
+        out.ok = false;
+        procs_ok = false;
+        out.errors.push_back(strfmt("task %d uses processor %d outside "
+                                    "[0, %d)",
+                                    i, flat.proc_ids[p], m));
       }
-      result.completion[static_cast<std::size_t>(e.task)] = e.time;
-      result.cmax = std::max(result.cmax, e.time);
-      result.busy_area += p.duration * p.nprocs();
-      result.weighted_completion_sum +=
-          instance.task(e.task).weight() * e.time;
+    }
+    if (!procs_ok) continue;
+    ws.heap.push_back(SimWorkspace::Event{flat.start[e], i, 0});
+    ws.heap.push_back(SimWorkspace::Event{flat.finish(i), i, 1});
+  }
+  std::make_heap(ws.heap.begin(), ws.heap.end(), later);
+
+  ws.owner.assign(static_cast<std::size_t>(m), -1);
+  while (!ws.heap.empty()) {
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), later);
+    const SimWorkspace::Event e = ws.heap.back();
+    ws.heap.pop_back();
+    ++out.events;
+    const auto entry = static_cast<std::size_t>(e.task);
+    const auto begin = static_cast<std::size_t>(flat.proc_begin[entry]);
+    const auto count = static_cast<std::size_t>(flat.proc_count[entry]);
+    if (e.is_finish) {
+      for (std::size_t p = begin; p < begin + count; ++p) {
+        const auto proc = static_cast<std::size_t>(flat.proc_ids[p]);
+        if (ws.owner[proc] == e.task) ws.owner[proc] = -1;
+      }
+      out.completion[entry] = e.time;
+      out.cmax = std::max(out.cmax, e.time);
+      out.busy_area += flat.duration[entry] * static_cast<double>(count);
+      out.weighted_completion_sum += instance.task(e.task).weight() * e.time;
     } else {
-      for (int proc : p.procs) {
-        const int running = owner[static_cast<std::size_t>(proc)];
+      for (std::size_t p = begin; p < begin + count; ++p) {
+        const auto proc = static_cast<std::size_t>(flat.proc_ids[p]);
+        const int running = ws.owner[proc];
         if (running != -1) {
           // Back-to-back placements can disagree by one ulp on when the
           // hand-over happens (start computed as a different floating-point
           // sum than the predecessor's finish); a finish at effectively the
           // same instant is a clean hand-over, not a conflict.
-          const double running_finish = schedule.placement(running).finish();
+          const double running_finish = flat.finish(running);
           const double tol = 1e-9 * (1.0 + std::abs(e.time));
           if (running_finish <= e.time + tol) {
-            result.completion[static_cast<std::size_t>(running)] =
+            out.completion[static_cast<std::size_t>(running)] =
                 running_finish;
-            result.cmax = std::max(result.cmax, running_finish);
+            out.cmax = std::max(out.cmax, running_finish);
           } else {
-            result.ok = false;
-            result.errors.push_back(
+            out.ok = false;
+            out.errors.push_back(
                 strfmt("t=%.12g: task %d claims processor %d still running "
                        "task %d",
-                       e.time, e.task, proc, running));
+                       e.time, e.task, flat.proc_ids[p], running));
           }
         }
-        owner[static_cast<std::size_t>(proc)] = e.task;
+        ws.owner[proc] = e.task;
       }
     }
   }
-  if (result.cmax > 0.0) {
-    result.utilisation = result.busy_area / (static_cast<double>(m) * result.cmax);
+  if (out.cmax > 0.0) {
+    out.utilisation = out.busy_area / (static_cast<double>(m) * out.cmax);
   }
+}
+
+SimResult simulate_execution(const FlatPlacements& flat,
+                             const Instance& instance) {
+  SimWorkspace ws;
+  SimResult out;
+  simulate_execution(flat, instance, ws, out);
+  return out;
+}
+
+SimResult simulate_execution(const Schedule& schedule,
+                             const Instance& instance) {
+  SimResult result;
+  if (schedule.num_tasks() != instance.num_tasks() ||
+      schedule.procs() != instance.procs()) {
+    result.ok = false;
+    result.errors.emplace_back("schedule/instance shape mismatch");
+    return result;
+  }
+  SimWorkspace ws;
+  ws.bridge.assign_from(schedule);
+  simulate_execution(ws.bridge, instance, ws, result);
   return result;
 }
 

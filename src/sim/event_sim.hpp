@@ -4,12 +4,20 @@
 /// occupancy dynamically — an independent cross-check of the static
 /// validator (the paper's algorithm is deployed on a real cluster; the
 /// simulator stands in for that execution substrate, see DESIGN.md).
+///
+/// The core runs on FlatPlacements with a caller-owned SimWorkspace so
+/// repeated simulations (the online simulator, the engine's request loop)
+/// reuse the event heap and occupancy buffers instead of allocating a
+/// priority queue per call. The Schedule-based entry point is a wrapper
+/// that bridges through FlatPlacements::assign_from.
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sched/flat_schedule.hpp"
 #include "sched/schedule.hpp"
 #include "tasks/instance.hpp"
 
@@ -28,10 +36,36 @@ struct SimResult {
   std::int64_t events = 0;
 };
 
+/// Reusable buffers for repeated simulations: the event heap, the
+/// per-processor occupancy array, and a flat bridge for Schedule inputs.
+/// One workspace per thread; every buffer is cleared (capacity kept) at the
+/// start of a run, so steady-state simulation performs no heap allocation.
+struct SimWorkspace {
+  struct Event {
+    double time = 0.0;
+    int task = 0;
+    std::uint8_t is_finish = 0;  ///< finishes processed before starts
+  };
+  std::vector<Event> heap;
+  std::vector<int> owner;   ///< per processor: running task or -1
+  FlatPlacements bridge;    ///< scratch for the Schedule-based wrapper
+};
+
 /// Execute `schedule` against `instance`. Reports conflicts (double-booked
 /// processors), duration mismatches, and unassigned tasks as errors rather
 /// than throwing, so tests can assert on specifics.
 [[nodiscard]] SimResult simulate_execution(const Schedule& schedule,
+                                           const Instance& instance);
+
+/// Allocation-free core: execute flat placements (entries indexed like the
+/// instance's tasks; duration <= 0 = unassigned) against `instance`,
+/// reusing `ws` and writing into `out` (cleared first, capacity kept).
+/// Processor ids outside [0, instance.procs()) are reported as errors.
+void simulate_execution(const FlatPlacements& flat, const Instance& instance,
+                        SimWorkspace& ws, SimResult& out);
+
+/// Convenience flat overload allocating its own workspace and result.
+[[nodiscard]] SimResult simulate_execution(const FlatPlacements& flat,
                                            const Instance& instance);
 
 }  // namespace moldsched

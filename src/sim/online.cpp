@@ -5,12 +5,69 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace moldsched {
 
 namespace {
 
-/// Processors whose reservations intersect [start, finish).
+/// Shared input validation of both paths (identical checks and messages).
+void check_inputs(int m, const std::vector<OnlineJob>& jobs,
+                  const std::vector<NodeReservation>& reservations) {
+  if (m < 1) throw std::invalid_argument("online_batch_schedule: m < 1");
+  if (jobs.empty()) {
+    throw std::invalid_argument("online_batch_schedule: no jobs");
+  }
+  for (const auto& r : reservations) {
+    if (r.proc < 0 || r.proc >= m || !(r.finish > r.start)) {
+      throw std::invalid_argument("online_batch_schedule: bad reservation");
+    }
+  }
+  for (const auto& job : jobs) {
+    if (job.release < 0.0) {
+      throw std::invalid_argument("online_batch_schedule: negative release");
+    }
+  }
+}
+
+/// Processors whose reservations intersect [start, finish), written into a
+/// reusable flag buffer.
+void blocked_procs_into(int m,
+                        const std::vector<NodeReservation>& reservations,
+                        double start, double finish,
+                        std::vector<std::uint8_t>& blocked) {
+  blocked.assign(static_cast<std::size_t>(m), 0);
+  for (const auto& r : reservations) {
+    if (r.start < finish && r.finish > start) {
+      blocked[static_cast<std::size_t>(r.proc)] = 1;
+    }
+  }
+}
+
+/// Build the reduced-machine batch instance for the jobs of the open batch.
+/// The time vectors are truncated to the reduced width, which is the one
+/// unavoidable per-batch allocation of the flat path (the off-line plug-in
+/// needs real MoldableTasks).
+Instance build_batch_instance(const std::vector<OnlineJob>& jobs,
+                              const std::vector<int>& batch_jobs, int avail) {
+  Instance batch_instance(avail);
+  for (int job_id : batch_jobs) {
+    const MoldableTask& task = jobs[static_cast<std::size_t>(job_id)].task;
+    if (task.min_procs() > avail) {
+      throw std::invalid_argument(
+          "online_batch_schedule: job cannot fit on available "
+          "processors");
+    }
+    std::vector<double> times(task.times().begin(),
+                              task.times().begin() +
+                                  std::min(task.max_procs(), avail));
+    batch_instance.add_task(
+        MoldableTask(std::move(times), task.weight(), task.min_procs()));
+  }
+  return batch_instance;
+}
+
+/// Original (pre-refactor) helper of the reference path.
 std::vector<bool> blocked_procs(int m,
                                 const std::vector<NodeReservation>& reservations,
                                 double start, double finish) {
@@ -25,24 +82,164 @@ std::vector<bool> blocked_procs(int m,
 
 }  // namespace
 
+void FlatOnlineResult::reset(int num_jobs) {
+  schedule.reset(num_jobs);
+  completion.assign(static_cast<std::size_t>(num_jobs), 0.0);
+  flow.assign(static_cast<std::size_t>(num_jobs), 0.0);
+  cmax = 0.0;
+  weighted_completion_sum = 0.0;
+  weighted_flow_sum = 0.0;
+  num_batches = 0;
+  batch_starts.clear();
+}
+
+FlatOfflineScheduler wrap_offline(OfflineScheduler offline) {
+  return [offline = std::move(offline)](const Instance& batch,
+                                        OnlineWorkspace& /*ws*/,
+                                        FlatPlacements& out) {
+    out.assign_from(offline(batch));
+  };
+}
+
+void online_batch_schedule_into(
+    int m, const std::vector<OnlineJob>& jobs,
+    const FlatOfflineScheduler& offline,
+    const std::vector<NodeReservation>& reservations, OnlineWorkspace& ws,
+    FlatOnlineResult& out) {
+  check_inputs(m, jobs, reservations);
+  const int n = static_cast<int>(jobs.size());
+
+  // Jobs in release order.
+  ws.order.resize(static_cast<std::size_t>(n));
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  std::sort(ws.order.begin(), ws.order.end(), [&](int a, int b) {
+    return jobs[static_cast<std::size_t>(a)].release <
+           jobs[static_cast<std::size_t>(b)].release;
+  });
+
+  out.reset(n);
+
+  std::size_t next = 0;
+  double now = 0.0;
+  while (next < ws.order.size()) {
+    // The batch opens when the machine is idle and at least one job has
+    // arrived.
+    now = std::max(now, jobs[static_cast<std::size_t>(ws.order[next])].release);
+    ws.batch_jobs.clear();
+    while (next < ws.order.size() &&
+           jobs[static_cast<std::size_t>(ws.order[next])].release <=
+               now + 1e-12) {
+      ws.batch_jobs.push_back(ws.order[next]);
+      ++next;
+    }
+
+    // Determine the available processors against reservations: start from
+    // "everything free", schedule, check which reservations the batch
+    // overlaps, remove those processors and retry until stable.
+    ws.blocked.assign(static_cast<std::size_t>(m), 0);
+    // Iteration budget: between time jumps the blocked set only grows
+    // (<= m + 1 iterations per epoch), and every jump advances `now` past
+    // a distinct reservation end (<= reservations.size() jumps), so the
+    // bound is unreachable — exhausting it means the lift below would use
+    // a stale batch schedule, so it is an error, never a fallthrough.
+    const int max_iterations =
+        (static_cast<int>(reservations.size()) + 1) * (m + 2);
+    bool settled = false;
+    for (int iteration = 0; iteration < max_iterations; ++iteration) {
+      ws.free_procs.clear();
+      for (int p = 0; p < m; ++p) {
+        if (!ws.blocked[static_cast<std::size_t>(p)]) {
+          ws.free_procs.push_back(p);
+        }
+      }
+      const int avail = static_cast<int>(ws.free_procs.size());
+      if (avail == 0) {
+        // Fully reserved at this instant: jump past the earliest blocking
+        // reservation end and rebuild the batch window.
+        double jump = std::numeric_limits<double>::infinity();
+        for (const auto& r : reservations) {
+          if (r.finish > now) jump = std::min(jump, r.finish);
+        }
+        if (!std::isfinite(jump)) {
+          throw std::logic_error(
+              "online_batch_schedule: machine permanently fully reserved");
+        }
+        now = jump;
+        blocked_procs_into(m, reservations, now, now, ws.blocked);
+        continue;
+      }
+      const Instance batch_instance =
+          build_batch_instance(jobs, ws.batch_jobs, avail);
+      offline(batch_instance, ws, ws.batch);
+      const double horizon = now + ws.batch.cmax();
+      blocked_procs_into(m, reservations, now, horizon, ws.new_blocked);
+      if (ws.new_blocked == ws.blocked) {  // fixpoint: no new conflicts
+        settled = true;
+        break;
+      }
+      for (std::size_t p = 0; p < ws.new_blocked.size(); ++p) {
+        if (ws.new_blocked[p]) ws.blocked[p] = 1;  // monotone => converges
+      }
+    }
+    if (!settled) {
+      throw std::logic_error(
+          "online_batch_schedule: reservation fixpoint failed to converge");
+    }
+
+    // Lift the batch placements into global time / global processor ids.
+    for (std::size_t b = 0; b < ws.batch_jobs.size(); ++b) {
+      const int job_id = ws.batch_jobs[b];
+      const auto job = static_cast<std::size_t>(job_id);
+      out.schedule.start[job] = now + ws.batch.start[b];
+      out.schedule.duration[job] = ws.batch.duration[b];
+      out.schedule.proc_begin[job] =
+          static_cast<int>(out.schedule.proc_ids.size());
+      out.schedule.proc_count[job] = ws.batch.proc_count[b];
+      const auto begin = static_cast<std::size_t>(ws.batch.proc_begin[b]);
+      const auto count = static_cast<std::size_t>(ws.batch.proc_count[b]);
+      for (std::size_t p = begin; p < begin + count; ++p) {
+        out.schedule.proc_ids.push_back(
+            ws.free_procs[static_cast<std::size_t>(ws.batch.proc_ids[p])]);
+      }
+      const double completion =
+          now + (ws.batch.start[b] + ws.batch.duration[b]);
+      out.completion[job] = completion;
+      out.flow[job] = completion - jobs[job].release;
+      out.cmax = std::max(out.cmax, completion);
+      const double w = jobs[job].task.weight();
+      out.weighted_completion_sum += w * completion;
+      out.weighted_flow_sum += w * out.flow[job];
+    }
+    out.batch_starts.push_back(now);
+    ++out.num_batches;
+    now += ws.batch.cmax();
+  }
+}
+
 OnlineResult online_batch_schedule(
     int m, const std::vector<OnlineJob>& jobs, const OfflineScheduler& offline,
     const std::vector<NodeReservation>& reservations) {
-  if (m < 1) throw std::invalid_argument("online_batch_schedule: m < 1");
-  if (jobs.empty()) {
-    throw std::invalid_argument("online_batch_schedule: no jobs");
-  }
-  for (const auto& r : reservations) {
-    if (r.proc < 0 || r.proc >= m || !(r.finish > r.start)) {
-      throw std::invalid_argument("online_batch_schedule: bad reservation");
-    }
-  }
+  OnlineWorkspace ws;
+  FlatOnlineResult flat;
+  online_batch_schedule_into(m, jobs, wrap_offline(offline), reservations, ws,
+                             flat);
+  OnlineResult result(m, static_cast<int>(jobs.size()));
+  result.schedule = flat.schedule.to_schedule(m);
+  result.completion = std::move(flat.completion);
+  result.flow = std::move(flat.flow);
+  result.cmax = flat.cmax;
+  result.weighted_completion_sum = flat.weighted_completion_sum;
+  result.weighted_flow_sum = flat.weighted_flow_sum;
+  result.num_batches = flat.num_batches;
+  result.batch_starts = std::move(flat.batch_starts);
+  return result;
+}
+
+OnlineResult online_batch_schedule_reference(
+    int m, const std::vector<OnlineJob>& jobs, const OfflineScheduler& offline,
+    const std::vector<NodeReservation>& reservations) {
+  check_inputs(m, jobs, reservations);
   const int n = static_cast<int>(jobs.size());
-  for (const auto& job : jobs) {
-    if (job.release < 0.0) {
-      throw std::invalid_argument("online_batch_schedule: negative release");
-    }
-  }
 
   // Jobs in release order.
   std::vector<int> order(static_cast<std::size_t>(n));
@@ -75,7 +272,12 @@ OnlineResult online_batch_schedule(
     std::vector<bool> blocked(static_cast<std::size_t>(m), false);
     Schedule batch_schedule(1, 0);
     std::vector<int> free_procs;
-    for (int iteration = 0; iteration <= m; ++iteration) {
+    // Same iteration budget as the flat core (the two paths must stay
+    // bit-identical, including on inputs that exercise the budget).
+    const int max_iterations =
+        (static_cast<int>(reservations.size()) + 1) * (m + 2);
+    bool settled = false;
+    for (int iteration = 0; iteration < max_iterations; ++iteration) {
       free_procs.clear();
       for (int p = 0; p < m; ++p) {
         if (!blocked[static_cast<std::size_t>(p)]) free_procs.push_back(p);
@@ -97,28 +299,22 @@ OnlineResult online_batch_schedule(
         continue;
       }
       // Build the batch instance on the reduced machine.
-      Instance batch_instance(avail);
-      for (int job_id : batch_jobs) {
-        const MoldableTask& task = jobs[static_cast<std::size_t>(job_id)].task;
-        if (task.min_procs() > avail) {
-          throw std::invalid_argument(
-              "online_batch_schedule: job cannot fit on available "
-              "processors");
-        }
-        // Truncate the time vector to the reduced machine width.
-        std::vector<double> times(task.times().begin(),
-                                  task.times().begin() +
-                                      std::min(task.max_procs(), avail));
-        batch_instance.add_task(
-            MoldableTask(std::move(times), task.weight(), task.min_procs()));
-      }
+      const Instance batch_instance =
+          build_batch_instance(jobs, batch_jobs, avail);
       batch_schedule = offline(batch_instance);
       const double horizon = now + batch_schedule.cmax();
       auto new_blocked = blocked_procs(m, reservations, now, horizon);
-      if (new_blocked == blocked) break;  // fixpoint: no new conflicts
+      if (new_blocked == blocked) {  // fixpoint: no new conflicts
+        settled = true;
+        break;
+      }
       for (std::size_t p = 0; p < new_blocked.size(); ++p) {
         if (new_blocked[p]) blocked[p] = true;  // monotone growth => converges
       }
+    }
+    if (!settled) {
+      throw std::logic_error(
+          "online_batch_schedule: reservation fixpoint failed to converge");
     }
 
     // Lift the batch schedule into global time / global processor ids.

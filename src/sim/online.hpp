@@ -10,13 +10,28 @@
 /// of the cluster") shrink the set of processors a batch may use: a batch
 /// starting at time s avoids every processor whose reservation window
 /// intersects the batch's execution interval (computed to a fixpoint).
+///
+/// Two paths share one core:
+///
+/// * the **flat path** (`online_batch_schedule_into`) runs entirely inside
+///   a caller-owned OnlineWorkspace and writes a FlatOnlineResult — no
+///   Schedule object is allocated per batch decision, which is what the
+///   engine's server loop and the throughput bench call thousands of times;
+/// * the **object path** (`online_batch_schedule`) keeps the original
+///   Schedule-based API as a thin wrapper over the flat core, and
+///   `online_batch_schedule_reference` keeps the pre-refactor
+///   Schedule-per-batch implementation (modulo the shared reservation
+///   fixpoint-budget fix) as the bit-identical regression oracle.
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "sched/flat_schedule.hpp"
+#include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
 #include "tasks/instance.hpp"
 #include "tasks/moldable_task.hpp"
@@ -38,6 +53,48 @@ struct NodeReservation {
 /// Off-line scheduler plug-in: full instance in, complete schedule out.
 using OfflineScheduler = std::function<Schedule(const Instance&)>;
 
+/// Reusable state for repeated on-line simulations (one per engine strand).
+/// Every buffer is cleared (capacity kept) per run; after warm-up the
+/// simulator machinery performs no heap allocation. The remaining per-batch
+/// allocations are the batch Instance handed to the off-line plug-in (its
+/// task time vectors must be materialised) and whatever the plug-in itself
+/// allocates.
+struct OnlineWorkspace {
+  ListPassWorkspace list;            ///< scratch for flat off-line plug-ins
+  FlatPlacements batch;              ///< off-line output, batch-local ids
+  std::vector<int> order;            ///< jobs in release order
+  std::vector<int> batch_jobs;       ///< job ids of the open batch
+  std::vector<int> free_procs;       ///< unblocked processor ids
+  std::vector<std::uint8_t> blocked;      ///< per-processor block flags
+  std::vector<std::uint8_t> new_blocked;  ///< fixpoint scratch
+};
+
+/// Off-line plug-in for the flat path: schedule `batch` (every task must be
+/// placed), writing flat placements into `out`; `ws` offers reusable
+/// scratch (`ws.list`) so a plug-in can itself run allocation-free.
+using FlatOfflineScheduler = std::function<void(
+    const Instance& batch, OnlineWorkspace& ws, FlatPlacements& out)>;
+
+/// Adapt a Schedule-returning off-line scheduler to the flat plug-in form
+/// (the Schedule the plug-in allocates is copied verbatim, so results are
+/// bit-identical to the object path).
+[[nodiscard]] FlatOfflineScheduler wrap_offline(OfflineScheduler offline);
+
+/// Flat-path result; buffers keep capacity across runs when reused.
+struct FlatOnlineResult {
+  FlatPlacements schedule;          ///< global placements, indexed like jobs
+  std::vector<double> completion;   ///< per job
+  std::vector<double> flow;         ///< completion - release
+  double cmax = 0.0;
+  double weighted_completion_sum = 0.0;
+  double weighted_flow_sum = 0.0;
+  int num_batches = 0;
+  std::vector<double> batch_starts;
+
+  /// Clear to `num_jobs` unassigned jobs and zeroed metrics.
+  void reset(int num_jobs);
+};
+
 struct OnlineResult {
   /// Global-time placements, indexed like `jobs`.
   Schedule schedule;
@@ -52,10 +109,26 @@ struct OnlineResult {
   explicit OnlineResult(int m, int n) : schedule(m, n) {}
 };
 
-/// Run the batch framework. Throws std::invalid_argument on an empty job
-/// list, negative releases, or a job needing more processors than a batch
-/// can ever obtain (m minus permanently reserved).
+/// Flat core of the batch framework: runs inside `ws`, writes into `out`.
+/// Throws std::invalid_argument on an empty job list, negative releases, or
+/// a job needing more processors than a batch can ever obtain (m minus
+/// permanently reserved).
+void online_batch_schedule_into(
+    int m, const std::vector<OnlineJob>& jobs,
+    const FlatOfflineScheduler& offline,
+    const std::vector<NodeReservation>& reservations, OnlineWorkspace& ws,
+    FlatOnlineResult& out);
+
+/// Run the batch framework (object path; wrapper over the flat core with
+/// identical results). Throws as online_batch_schedule_into.
 [[nodiscard]] OnlineResult online_batch_schedule(
+    int m, const std::vector<OnlineJob>& jobs, const OfflineScheduler& offline,
+    const std::vector<NodeReservation>& reservations = {});
+
+/// Pre-refactor object-path implementation (allocates a Schedule per batch
+/// decision), kept as the independent regression oracle for the flat core
+/// (tests assert bit-identical results on every input class).
+[[nodiscard]] OnlineResult online_batch_schedule_reference(
     int m, const std::vector<OnlineJob>& jobs, const OfflineScheduler& offline,
     const std::vector<NodeReservation>& reservations = {});
 

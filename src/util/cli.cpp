@@ -5,6 +5,21 @@
 
 namespace moldsched {
 
+namespace {
+
+/// A token usable as an option value: anything except another option
+/// (`--x`) or a short flag like `-h`. Negative numbers (`-5`, `-.5`)
+/// still count as values.
+bool looks_like_value(std::string_view token) {
+  if (token.rfind("--", 0) == 0) return false;
+  if (token.size() >= 2 && token[0] == '-') {
+    return (token[1] >= '0' && token[1] <= '9') || token[1] == '.';
+  }
+  return true;
+}
+
+}  // namespace
+
 ArgParser::ArgParser(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
@@ -20,9 +35,9 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
                        std::string(arg.substr(eq + 1)));
       continue;
     }
-    // `--key value` when the next token is not itself an option; otherwise a
-    // bare boolean flag.
-    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+    // `--key value` when the next token is not itself an option or a short
+    // flag; otherwise a bare boolean flag.
+    if (i + 1 < argc && looks_like_value(argv[i + 1])) {
       options_.emplace(std::string(arg), std::string(argv[i + 1]));
       ++i;
     } else {
@@ -39,6 +54,14 @@ std::optional<std::string> ArgParser::raw(std::string_view name) const {
 
 bool ArgParser::has(std::string_view name) const {
   return options_.find(name) != options_.end();
+}
+
+bool ArgParser::help_requested() const {
+  if (has("help")) return true;
+  for (const auto& p : positional_) {
+    if (p == "-h") return true;
+  }
+  return false;
 }
 
 std::string ArgParser::get_string(std::string_view name, std::string def) const {

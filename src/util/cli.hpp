@@ -20,6 +20,11 @@ class ArgParser {
   /// True when `--name` was given (with or without a value).
   [[nodiscard]] bool has(std::string_view name) const;
 
+  /// True when `--help` (or `-h` as a positional) was given. Every bench
+  /// binary checks this first and prints its usage text, including the
+  /// schema of any JSON report it writes, before doing work.
+  [[nodiscard]] bool help_requested() const;
+
   [[nodiscard]] std::string get_string(std::string_view name,
                                        std::string def) const;
   [[nodiscard]] std::int64_t get_int(std::string_view name,

@@ -52,6 +52,14 @@ void ThreadPool::parallel_for_slots(
     const std::function<void(std::size_t slot, std::size_t i)>& f,
     std::size_t max_strands) {
   if (begin >= end) return;
+  // Nested call from a pool worker: blocking on the pool from one of its
+  // own tasks would deadlock once every worker waits, so run the loop
+  // inline on the caller instead (slot 0 — callers still get a valid,
+  // unshared workspace index).
+  if (this_thread_is_worker()) {
+    for (std::size_t i = begin; i < end; ++i) f(0, i);
+    return;
+  }
   // Dynamic scheduling through a shared atomic index: run durations vary a
   // lot (the LP solve dominates some runs), so static chunking would idle
   // workers. Each submitted strand keeps its slot for all indices it pulls.

@@ -40,7 +40,10 @@ class ThreadPool {
   /// Like parallel_for, but the body also receives a stable slot index in
   /// [0, min(size(), end - begin, max_strands)): two concurrent invocations
   /// never share a slot, so callers can hand each strand its own reusable
-  /// workspace. `max_strands` == 0 means "as many as the pool has".
+  /// workspace. `max_strands` == 0 means "as many as the pool has". Called
+  /// from a pool worker thread (of any pool), the loop runs inline on the
+  /// caller with slot 0 instead of blocking on pool work — nested parallel
+  /// stages degrade to sequential rather than deadlocking.
   void parallel_for_slots(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t slot, std::size_t i)>& f,
