@@ -1,0 +1,47 @@
+/// \file alloc_hook.hpp
+/// Shared global operator-new hook for the allocation-counting benches
+/// (micro_components, engine_throughput, serve_throughput): counts every
+/// heap allocation in the process so steady-state allocs-per-call deltas
+/// can be measured, one definition instead of a divergent copy per bench.
+/// Include from exactly one translation unit — the bench's own.
+///
+/// Compiled out under AddressSanitizer: replacing operator new with a
+/// malloc-based version breaks ASan's alloc/dealloc pairing. Benches must
+/// check kAllocHookEnabled and report "not measured" (-1) when false.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MOLDSCHED_BENCH_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MOLDSCHED_BENCH_ALLOC_HOOK 0
+#else
+#define MOLDSCHED_BENCH_ALLOC_HOOK 1
+#endif
+#else
+#define MOLDSCHED_BENCH_ALLOC_HOOK 1
+#endif
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+inline constexpr bool kAllocHookEnabled = MOLDSCHED_BENCH_ALLOC_HOOK != 0;
+
+#if MOLDSCHED_BENCH_ALLOC_HOOK
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // MOLDSCHED_BENCH_ALLOC_HOOK

@@ -7,14 +7,12 @@
 ///
 /// Run `engine_throughput --help` for flags and the JSON schema.
 
-#include <atomic>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <new>
 #include <string>
 #include <vector>
 
+#include "alloc_hook.hpp"
 #include "engine/engine.hpp"
 #include "util/cli.hpp"
 #include "util/strfmt.hpp"
@@ -22,24 +20,10 @@
 #include "util/timer.hpp"
 #include "workloads/generators.hpp"
 
-// ------------------------------------------------------------------------
-// Allocation counter: a global operator-new hook, counting every heap
-// allocation in the process. Steady-state measurements run on the engine's
-// single-strand path (workers=1) so the delta is exact.
-static std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Allocation counting uses the shared operator-new hook in
+// alloc_hook.hpp. Steady-state measurements run on the engine's
+// single-strand path (workers=1) so the delta is exact; rows report -1
+// under sanitizers (hook compiled out).
 
 namespace {
 
@@ -84,6 +68,8 @@ JSON output schema (BENCH_engine.json)
   }
   "allocs_per_request" counts operator-new calls per request once the
   per-strand workspaces are warm; engine_flatlist_metrics_only must be 0.
+Full schema reference and recorded baselines for every BENCH_*.json
+report: docs/BENCHMARKS.md.
 )";
 
 bool results_identical(const std::vector<EngineResult>& a,
@@ -267,8 +253,9 @@ int main(int argc, char** argv) {
     const std::uint64_t before = g_alloc_count.load();
     body();
     const double per_request =
-        static_cast<double>(g_alloc_count.load() - before) /
-        static_cast<double>(served);
+        kAllocHookEnabled ? static_cast<double>(g_alloc_count.load() - before) /
+                                static_cast<double>(served)
+                          : -1.0;
     alloc_rows.push_back(AllocRow{name, per_request});
     std::cout << strfmt("%-34s %8.2f allocs/request\n", name, per_request);
   };

@@ -43,7 +43,9 @@ int main(int argc, char** argv) {
         << "results: [{n, family, mean_s, min_s, max_s, tasks_per_s,\n"
         << "last_wc, last_cmax}]} -- last_wc/last_cmax record the final\n"
         << "run's schedule metrics so parallel and sequential runs of the\n"
-        << "bench can be diffed for identical output, not just speed.\n";
+        << "bench can be diffed for identical output, not just speed.\n"
+        << "Full schema reference and recorded baselines for every\n"
+        << "BENCH_*.json report: docs/BENCHMARKS.md.\n";
     return 0;
   }
   std::vector<int> sizes = args.get_int_list(

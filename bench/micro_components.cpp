@@ -10,14 +10,12 @@
 /// and, machine-readable, to BENCH_demt_micro.json (--json PATH to
 /// override, --json "" to disable).
 
-#include <atomic>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <new>
 #include <string>
 #include <vector>
 
+#include "alloc_hook.hpp"
 #include "core/batching.hpp"
 #include "core/demt.hpp"
 #include "core/knapsack.hpp"
@@ -29,24 +27,9 @@
 #include "util/timer.hpp"
 #include "workloads/generators.hpp"
 
-// ------------------------------------------------------------------------
-// Allocation counter: a global operator-new hook. Counts every heap
-// allocation in the process; measurements take deltas around the timed
-// region (single-threaded here, so the delta is exact).
-static std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Allocation counting uses the shared hook in alloc_hook.hpp;
+// measurements take deltas around the timed region (single-threaded
+// here, so the delta is exact). Rows report -1 under sanitizers.
 
 namespace {
 
@@ -86,7 +69,9 @@ void bench(const std::string& name, int n, F&& body,
       result.per_call_s = elapsed / reps;
       result.tasks_per_s = n > 0 ? n / result.per_call_s : 0.0;
       result.allocs_per_call =
-          static_cast<double>(alloc_after - alloc_before) / reps;
+          kAllocHookEnabled
+              ? static_cast<double>(alloc_after - alloc_before) / reps
+              : -1.0;
       g_results.push_back(result);
       std::cout << strfmt("%-28s n=%4d  %12.3f us/call  %10.0f tasks/s  "
                           "%8.1f allocs/call\n",
@@ -138,7 +123,9 @@ int main(int argc, char** argv) {
         << "per_call_s, tasks_per_s, allocs_per_call}]} -- one row per\n"
         << "(component, n); allocs_per_call = -1 when not measured; the\n"
         << "shuffle_alloc_delta row reports heap allocations per extra\n"
-        << "shuffle iteration (must be ~0).\n";
+        << "shuffle iteration (must be ~0).\n"
+        << "Full schema reference and recorded baselines for every\n"
+        << "BENCH_*.json report: docs/BENCHMARKS.md.\n";
     return 0;
   }
   const std::vector<int> sizes =
@@ -218,7 +205,8 @@ int main(int argc, char** argv) {
     };
     const double allocs_1 = count_allocs(base);
     const double allocs_65 = count_allocs(heavy);
-    const double per_shuffle = (allocs_65 - allocs_1) / 64.0;
+    const double per_shuffle =
+        kAllocHookEnabled ? (allocs_65 - allocs_1) / 64.0 : -1.0;
     std::cout << strfmt("%-28s n=%4d  allocs/shuffle-iter = %.2f "
                         "(1 shuffle: %.0f, 65 shuffles: %.0f)\n",
                         "shuffle_alloc_delta", n, per_shuffle, allocs_1,

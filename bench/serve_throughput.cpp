@@ -1,0 +1,392 @@
+/// Async serving bench for the submit/poll layer: verifies the async path
+/// is bit-identical to the synchronous SchedulerEngine for shard counts
+/// {1, 2, 4}, sweeps throughput and submit-to-done latency percentiles
+/// over the shard counts, exercises admission control, and counts
+/// steady-state heap allocations per request on the metrics-only FlatList
+/// path with a global operator-new hook (must be 0.00; the process exits
+/// non-zero otherwise, same as on a determinism failure).
+///
+/// Run `serve_throughput --help` for flags; all BENCH_*.json schemas are
+/// documented centrally in docs/BENCHMARKS.md.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "alloc_hook.hpp"
+#include "engine/engine.hpp"
+#include "serve/async_scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/strfmt.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "workloads/generators.hpp"
+
+// Allocation counting uses the shared operator-new hook in
+// alloc_hook.hpp, counting every heap allocation in the process (all
+// threads — shard strands and the flusher included, which is the point:
+// the whole serving cycle must be clean). Under AddressSanitizer the
+// hook is compiled out; the sanitized CI job still gates determinism +
+// admission while the allocation contract is enforced by the plain
+// Release build (reported as -1 here).
+
+namespace {
+
+using namespace moldsched;
+
+constexpr const char* kHelp = R"(serve_throughput -- async submit/poll serving bench
+
+Serves a fixed request set through the sharded AsyncScheduler and compares
+against the synchronous SchedulerEngine path.
+
+Flags
+  --requests N      requests per round                         [96]
+  --n N             tasks per instance                         [60]
+  --m N             processors per instance                    [32]
+  --reps N          timed rounds per shard setting             [5]
+  --shards a,b,c    shard counts to sweep                      [1,2,4]
+  --max-batch N     coalescing batch bound                     [16]
+  --flush-ms X      deadline flush (ms; 0 = every submit)      [0.5]
+  --capacity N      admission bound (in-flight tickets)        [4096]
+  --shuffles N      DEMT shuffle candidates per request        [8]
+  --seed S          base RNG seed                              [20040627]
+  --quick           small preset (24 requests, 2 reps)
+  --json PATH       JSON report path ("" disables)             [BENCH_serve.json]
+  --help            this text
+
+The BENCH_serve.json schema (and every other BENCH_*.json schema) is
+documented in docs/BENCHMARKS.md; the serving architecture and its
+determinism/allocation contracts in docs/SERVING.md.
+
+Exit status: non-zero when any async result differs from the synchronous
+reference, or when the steady-state metrics-only FlatList path allocates
+(allocation counting is compiled out under AddressSanitizer and reported
+as -1: sanitized builds gate determinism and admission only).
+)";
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Percentiles percentiles(std::vector<double>& samples) {
+  Percentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const auto last = samples.size() - 1;
+    const auto index = static_cast<std::size_t>(q * static_cast<double>(last));
+    return samples[std::min(index, last)];
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  out.max = samples.back();
+  return out;
+}
+
+bool results_identical(const EngineResult& a, const EngineResult& b) {
+  if (a.cmax != b.cmax ||
+      a.weighted_completion_sum != b.weighted_completion_sum ||
+      a.has_schedule != b.has_schedule) {
+    return false;
+  }
+  if (!a.has_schedule) return true;
+  const Schedule& sa = a.schedule;
+  const Schedule& sb = b.schedule;
+  if (sa.num_tasks() != sb.num_tasks()) return false;
+  for (int t = 0; t < sa.num_tasks(); ++t) {
+    const Placement& pa = sa.placement(t);
+    const Placement& pb = sb.placement(t);
+    if (pa.start != pb.start || pa.duration != pb.duration ||
+        pa.procs != pb.procs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace moldsched;
+  const ArgParser args(argc, argv);
+  if (args.help_requested()) {
+    std::cout << kHelp;
+    return 0;
+  }
+  int num_requests = static_cast<int>(args.get_int("requests", 96));
+  const int n = static_cast<int>(args.get_int("n", 60));
+  const int m = static_cast<int>(args.get_int("m", 32));
+  int reps = static_cast<int>(args.get_int("reps", 5));
+  if (args.has("quick")) {
+    num_requests = 24;
+    reps = 2;
+  }
+  const std::vector<int> shard_settings = args.get_int_list("shards", {1, 2, 4});
+  const int max_batch = static_cast<int>(args.get_int("max-batch", 16));
+  const double flush_ms = args.get_double("flush-ms", 0.5);
+  const int capacity = static_cast<int>(args.get_int("capacity", 4096));
+  const int shuffles = static_cast<int>(args.get_int("shuffles", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20040627));
+
+  const std::vector<WorkloadFamily> families = {
+      WorkloadFamily::WeaklyParallel, WorkloadFamily::Cirne,
+      WorkloadFamily::HighlyParallel, WorkloadFamily::Mixed};
+  Rng rng(seed);
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) {
+    instances.push_back(generate_instance(
+        families[static_cast<std::size_t>(i) % families.size()], n, m, rng));
+  }
+  DemtOptions demt_options;
+  demt_options.shuffles = shuffles;
+  std::vector<EngineRequest> demt_requests(instances.size());
+  std::vector<EngineRequest> flat_requests(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    demt_requests[i].instance = &instances[i];
+    demt_requests[i].algorithm = EngineAlgorithm::Demt;
+    demt_requests[i].demt = demt_options;
+    flat_requests[i] = demt_requests[i];
+    flat_requests[i].algorithm = EngineAlgorithm::FlatList;
+  }
+
+  std::cout << strfmt(
+      "# serve_throughput: %d requests (n=%d, m=%d, %d shuffles), %d reps, "
+      "max_batch=%d, flush=%.2fms, capacity=%d, pool=%zu workers\n\n",
+      num_requests, n, m, shuffles, reps, max_batch, flush_ms, capacity,
+      shared_thread_pool().size());
+
+  bool all_ok = true;
+
+  // --- determinism: async vs synchronous engine, schedules kept -------
+  struct DeterminismRow {
+    int shards = 0;
+    bool identical = true;
+  };
+  std::vector<DeterminismRow> determinism_rows;
+  {
+    SchedulerEngine sync(EngineOptions{1, true});
+    std::vector<EngineResult> reference;
+    sync.schedule_batch(demt_requests, reference);
+    std::cout << strfmt("%-10s %10s\n", "shards", "identical");
+    for (int shards : shard_settings) {
+      AsyncOptions options;
+      options.shards = shards;
+      options.max_batch = max_batch;
+      options.flush_after_ms = flush_ms;
+      options.queue_capacity = std::max(capacity, num_requests);
+      options.keep_schedules = true;
+      AsyncScheduler async(options);
+      std::vector<Ticket> tickets;
+      tickets.reserve(demt_requests.size());
+      for (const auto& request : demt_requests) {
+        tickets.push_back(async.submit(request));
+      }
+      async.drain();
+      bool identical = true;
+      EngineResult result;
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        identical &= async.take(tickets[i], result) &&
+                     results_identical(result, reference[i]);
+      }
+      determinism_rows.push_back(DeterminismRow{shards, identical});
+      all_ok &= identical;
+      std::cout << strfmt("%-10d %10s\n", shards, identical ? "yes" : "NO");
+    }
+  }
+
+  // --- throughput + latency sweep -------------------------------------
+  struct ThroughputRow {
+    int shards = 0;
+    std::string algorithm;
+    double per_s = 0.0;
+    Percentiles latency;
+  };
+  std::vector<ThroughputRow> throughput_rows;
+  std::cout << strfmt("\n%-10s %-10s %14s %10s %10s %10s %10s\n", "shards",
+                      "algorithm", "requests/s", "p50 ms", "p90 ms",
+                      "p99 ms", "max ms");
+  for (int shards : shard_settings) {
+    for (const bool flat : {true, false}) {
+      const auto& requests = flat ? flat_requests : demt_requests;
+      AsyncOptions options;
+      options.shards = shards;
+      options.max_batch = max_batch;
+      options.flush_after_ms = flush_ms;
+      options.queue_capacity = std::max(capacity, num_requests);
+      options.keep_schedules = false;
+      AsyncScheduler async(options);
+      std::vector<Ticket> tickets;
+      tickets.reserve(requests.size());
+      std::vector<double> latencies;
+      latencies.reserve(requests.size() * static_cast<std::size_t>(reps));
+      EngineResult result;
+      // Warm-up round (not measured).
+      for (const auto& request : requests) {
+        tickets.push_back(async.submit(request));
+      }
+      async.drain();
+      for (const Ticket& ticket : tickets) (void)async.take(ticket, result);
+      WallTimer timer;
+      for (int r = 0; r < reps; ++r) {
+        tickets.clear();
+        for (const auto& request : requests) {
+          tickets.push_back(async.submit(request));
+        }
+        async.drain();
+        for (const Ticket& ticket : tickets) {
+          latencies.push_back(async.latency_seconds(ticket) * 1e3);
+          (void)async.take(ticket, result);
+        }
+      }
+      const double elapsed = timer.seconds();
+      ThroughputRow row;
+      row.shards = shards;
+      row.algorithm = flat ? "flatlist" : "demt";
+      row.per_s =
+          static_cast<double>(requests.size()) * reps / elapsed;
+      row.latency = percentiles(latencies);
+      throughput_rows.push_back(row);
+      std::cout << strfmt("%-10d %-10s %14.1f %10.3f %10.3f %10.3f %10.3f\n",
+                          row.shards, row.algorithm.c_str(), row.per_s,
+                          row.latency.p50, row.latency.p90, row.latency.p99,
+                          row.latency.max);
+    }
+  }
+
+  // --- admission control under overload -------------------------------
+  struct AdmissionReport {
+    int capacity = 0;
+    int offered = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+  };
+  AdmissionReport admission;
+  {
+    AsyncOptions options;
+    options.shards = 1;
+    options.max_batch = max_batch;
+    options.flush_after_ms = 1e6;  // hold everything: pure admission test
+    options.queue_capacity = std::max(8, num_requests / 4);
+    AsyncScheduler async(options);
+    std::vector<Ticket> tickets;
+    tickets.reserve(flat_requests.size());
+    for (const auto& request : flat_requests) {
+      tickets.push_back(async.submit(request));
+    }
+    async.drain();
+    EngineResult result;
+    for (const Ticket& ticket : tickets) {
+      if (ticket.accepted()) (void)async.take(ticket, result);
+    }
+    const AsyncStats stats = async.stats();
+    admission.capacity = options.queue_capacity;
+    admission.offered = num_requests;
+    admission.accepted = stats.submitted;
+    admission.rejected = stats.rejected;
+    std::cout << strfmt(
+        "\n# admission: capacity %d, offered %d -> accepted %llu, "
+        "rejected %llu (completed %llu)\n",
+        admission.capacity, admission.offered,
+        static_cast<unsigned long long>(admission.accepted),
+        static_cast<unsigned long long>(admission.rejected),
+        static_cast<unsigned long long>(stats.completed));
+  }
+
+  // --- steady-state allocations on the metrics-only FlatList path -----
+  double allocs_per_request = -1.0;  // -1 = not measured (sanitizer build)
+  if (kAllocHookEnabled) {
+    AsyncOptions options;
+    options.shards = 1;
+    options.max_batch = max_batch;
+    options.flush_after_ms = flush_ms;
+    options.queue_capacity = std::max(capacity, num_requests);
+    options.keep_schedules = false;
+    AsyncScheduler async(options);
+    std::vector<Ticket> tickets;
+    tickets.reserve(flat_requests.size());
+    EngineResult result;
+    const auto round = [&] {
+      tickets.clear();
+      for (const auto& request : flat_requests) {
+        tickets.push_back(async.submit(request));
+      }
+      for (const Ticket& ticket : tickets) {
+        (void)async.wait(ticket);
+        (void)async.take(ticket, result);
+      }
+    };
+    round();  // warm-up: grows slot buffers, assembly vectors, workspaces
+    round();
+    const std::uint64_t before = g_alloc_count.load();
+    for (int r = 0; r < reps; ++r) round();
+    allocs_per_request =
+        static_cast<double>(g_alloc_count.load() - before) /
+        static_cast<double>(flat_requests.size() * static_cast<std::size_t>(reps));
+    std::cout << strfmt(
+        "\n# steady-state allocations (1 shard, metrics-only flatlist): "
+        "%.2f allocs/request\n",
+        allocs_per_request);
+    if (allocs_per_request != 0.0) {
+      std::cerr << "ERROR: steady-state serving path allocated\n";
+      all_ok = false;
+    }
+  } else {
+    std::cout << "\n# steady-state allocations: not measured "
+                 "(operator-new hook disabled under AddressSanitizer)\n";
+  }
+
+  const std::string json_path = args.get_string("json", "BENCH_serve.json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << strfmt(
+        "{\n  \"benchmark\": \"serve_throughput\",\n"
+        "  \"requests\": %d,\n  \"n\": %d,\n  \"m\": %d,\n  \"reps\": %d,\n"
+        "  \"shuffles\": %d,\n  \"max_batch\": %d,\n"
+        "  \"flush_after_ms\": %.3f,\n  \"queue_capacity\": %d,\n"
+        "  \"pool_workers\": %zu,\n",
+        num_requests, n, m, reps, shuffles, max_batch, flush_ms, capacity,
+        shared_thread_pool().size());
+    out << "  \"determinism\": [\n";
+    for (std::size_t i = 0; i < determinism_rows.size(); ++i) {
+      const auto& row = determinism_rows[i];
+      out << strfmt("    {\"shards\": %d, \"identical_to_sync\": %s}%s\n",
+                    row.shards, row.identical ? "true" : "false",
+                    i + 1 < determinism_rows.size() ? "," : "");
+    }
+    out << "  ],\n  \"throughput\": [\n";
+    for (std::size_t i = 0; i < throughput_rows.size(); ++i) {
+      const auto& row = throughput_rows[i];
+      out << strfmt(
+          "    {\"shards\": %d, \"algorithm\": \"%s\", "
+          "\"requests_per_s\": %.1f, \"latency_ms\": {\"p50\": %.3f, "
+          "\"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f}}%s\n",
+          row.shards, row.algorithm.c_str(), row.per_s, row.latency.p50,
+          row.latency.p90, row.latency.p99, row.latency.max,
+          i + 1 < throughput_rows.size() ? "," : "");
+    }
+    out << strfmt(
+        "  ],\n  \"admission\": {\"capacity\": %d, \"offered\": %d, "
+        "\"accepted\": %llu, \"rejected\": %llu},\n",
+        admission.capacity, admission.offered,
+        static_cast<unsigned long long>(admission.accepted),
+        static_cast<unsigned long long>(admission.rejected));
+    out << strfmt(
+        "  \"allocs\": [\n    {\"path\": \"serve_flatlist_metrics_only\", "
+        "\"allocs_per_request\": %.2f}\n  ]\n}\n",
+        allocs_per_request);
+    std::cout << "# json written to " << json_path << "\n";
+  }
+
+  if (!all_ok) {
+    std::cerr << "ERROR: serve_throughput contract violated (see above)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,16 @@
 # Documentation completeness check, run as a CTest (`docs_check`):
-# every public header under src/ must be mentioned (by file name) in
-# docs/API.md, so the API reference cannot silently rot as headers are
-# added. Invoke: cmake -DREPO=<repo root> -P cmake/docs_check.cmake
+#  1. every public header under src/ must be mentioned (by file name) in
+#     docs/API.md, so the API reference cannot silently rot as headers
+#     are added;
+#  2. every public symbol declared at namespace scope in a src/serve/
+#     header (class/struct/enum and free functions) must be mentioned in
+#     docs/SERVING.md — the serving handbook ships with the code, not
+#     after it;
+#  3. docs/ARCHITECTURE.md must exist and cover every source layer it
+#     promises (core/, sched/, sim/, engine/, serve/);
+#  4. docs/BENCHMARKS.md must exist and document every BENCH_*.json
+#     report the benches emit.
+# Invoke: cmake -DREPO=<repo root> -P cmake/docs_check.cmake
 if(NOT DEFINED REPO)
   message(FATAL_ERROR "docs_check.cmake: pass -DREPO=<repository root>")
 endif()
@@ -33,3 +42,78 @@ if(missing)
           "Add them to the header index (or a deep section) in docs/API.md.")
 endif()
 message(STATUS "docs_check: all ${total} public headers covered by docs/API.md")
+
+# --- serve layer: docs/SERVING.md must cover every public symbol --------
+set(serving_md "${REPO}/docs/SERVING.md")
+if(NOT EXISTS "${serving_md}")
+  message(FATAL_ERROR "docs_check: ${serving_md} does not exist")
+endif()
+file(READ "${serving_md}" serving_text)
+
+file(GLOB_RECURSE serve_headers "${REPO}/src/serve/*.hpp")
+list(SORT serve_headers)
+set(serve_symbols "")
+foreach(header ${serve_headers})
+  file(STRINGS "${header}" lines)
+  foreach(line ${lines})
+    # Type declarations at namespace scope (methods are indented).
+    if(line MATCHES "^(class|struct|enum[ \t]+class)[ \t]+([A-Za-z_][A-Za-z0-9_]*)")
+      list(APPEND serve_symbols "${CMAKE_MATCH_2}")
+    # Free-function declarations at namespace scope: an unindented line
+    # whose first identifier-followed-by-( is the function name (return
+    # type keywords and attributes contain no "name(").
+    elseif(line MATCHES "^[A-Za-z_[]" AND line MATCHES "([A-Za-z_][A-Za-z0-9_]*)[ \t]*\\(")
+      list(APPEND serve_symbols "${CMAKE_MATCH_1}")
+    endif()
+  endforeach()
+endforeach()
+list(REMOVE_DUPLICATES serve_symbols)
+
+set(serve_missing "")
+foreach(symbol ${serve_symbols})
+  string(FIND "${serving_text}" "${symbol}" found)
+  if(found EQUAL -1)
+    list(APPEND serve_missing "${symbol}")
+  endif()
+endforeach()
+list(LENGTH serve_symbols serve_total)
+if(serve_missing)
+  list(JOIN serve_missing "\n  " serve_missing_pretty)
+  message(FATAL_ERROR
+          "docs_check: docs/SERVING.md does not mention these public "
+          "src/serve/ symbols:\n  ${serve_missing_pretty}\n"
+          "Document them in docs/SERVING.md (the serving handbook must "
+          "cover the whole public surface).")
+endif()
+message(STATUS
+        "docs_check: all ${serve_total} serve symbols covered by docs/SERVING.md")
+
+# --- architecture + benchmark docs --------------------------------------
+set(architecture_md "${REPO}/docs/ARCHITECTURE.md")
+if(NOT EXISTS "${architecture_md}")
+  message(FATAL_ERROR "docs_check: ${architecture_md} does not exist")
+endif()
+file(READ "${architecture_md}" architecture_text)
+foreach(layer core sched sim engine serve)
+  string(FIND "${architecture_text}" "${layer}/" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "docs_check: docs/ARCHITECTURE.md does not cover the "
+            "${layer}/ layer")
+  endif()
+endforeach()
+
+set(benchmarks_md "${REPO}/docs/BENCHMARKS.md")
+if(NOT EXISTS "${benchmarks_md}")
+  message(FATAL_ERROR "docs_check: ${benchmarks_md} does not exist")
+endif()
+file(READ "${benchmarks_md}" benchmarks_text)
+foreach(report BENCH_demt.json BENCH_demt_micro.json BENCH_engine.json
+        BENCH_serve.json)
+  string(FIND "${benchmarks_text}" "${report}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "docs_check: docs/BENCHMARKS.md does not document ${report}")
+  endif()
+endforeach()
+message(STATUS "docs_check: architecture and benchmark docs present")

@@ -1,0 +1,151 @@
+/// \file async_server.cpp
+/// Server-style use of the async submit/poll layer: requests arrive one by
+/// one (an open-loop arrival stream, not pre-assembled batches), each
+/// submit returns a Ticket immediately, the scheduler coalesces them into
+/// engine batches behind the caller's back, and a completion loop polls
+/// tickets and retires results as they finish — including explicit
+/// Rejected handling when the arrival rate overruns the admission bound.
+///
+///   ./async_server [--requests 200] [--n 40] [--m 32] [--shards 2]
+///                  [--max-batch 16] [--flush-ms 0.5] [--capacity 32]
+///                  [--algorithm flatlist|demt] [--seed 1]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/async_scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moldsched;
+  const ArgParser args(argc, argv);
+  if (args.help_requested()) {
+    std::printf(
+        "async_server -- open-loop request stream through the async "
+        "submit/poll serving layer\n\n"
+        "  --requests N   requests to stream               [200]\n"
+        "  --n N          tasks per instance               [40]\n"
+        "  --m N          processors per instance          [32]\n"
+        "  --shards K     engine shards                    [2]\n"
+        "  --max-batch N  coalescing batch bound           [16]\n"
+        "  --flush-ms X   deadline flush in ms             [0.5]\n"
+        "  --capacity N   admission bound (small on purpose:\n"
+        "                 overload shows Rejected tickets) [32]\n"
+        "  --algorithm A  flatlist | demt                  [flatlist]\n"
+        "  --seed S       RNG seed                         [1]\n"
+        "Architecture and contracts: docs/SERVING.md; measured numbers:\n"
+        "bench/serve_throughput (BENCH_serve.json, docs/BENCHMARKS.md).\n");
+    return 0;
+  }
+  const int num_requests = static_cast<int>(args.get_int("requests", 200));
+  const int n = static_cast<int>(args.get_int("n", 40));
+  const int m = static_cast<int>(args.get_int("m", 32));
+  const std::string algorithm_name = args.get_string("algorithm", "flatlist");
+  const EngineAlgorithm algorithm = algorithm_name == "demt"
+                                        ? EngineAlgorithm::Demt
+                                        : EngineAlgorithm::FlatList;
+  AsyncOptions options;
+  options.shards = static_cast<int>(args.get_int("shards", 2));
+  options.max_batch = static_cast<int>(args.get_int("max-batch", 16));
+  options.flush_after_ms = args.get_double("flush-ms", 0.5);
+  options.queue_capacity = static_cast<int>(args.get_int("capacity", 32));
+  options.keep_schedules = false;  // metrics-only serving
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  const std::vector<WorkloadFamily> families = {
+      WorkloadFamily::WeaklyParallel, WorkloadFamily::Cirne,
+      WorkloadFamily::HighlyParallel, WorkloadFamily::Mixed};
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) {
+    instances.push_back(generate_instance(
+        families[static_cast<std::size_t>(i) % families.size()], n, m, rng));
+  }
+
+  std::printf(
+      "async_server: %d requests (n=%d, m=%d), %s, %d shards, "
+      "max_batch=%d, flush=%.2fms, capacity=%d, pool=%zu workers\n\n",
+      num_requests, n, m, algorithm_name.c_str(), options.shards,
+      options.max_batch, options.flush_after_ms, options.queue_capacity,
+      shared_thread_pool().size());
+
+  AsyncScheduler server(options);
+  std::vector<std::pair<int, Ticket>> outstanding;
+  RunningStats latency_ms;
+  RunningStats cmax_stats;
+  int rejected = 0;
+  int completed = 0;
+  EngineResult result;
+
+  // Retire every finished ticket without blocking; frees admission slots.
+  const auto reap = [&] {
+    std::size_t kept = 0;
+    for (auto& entry : outstanding) {
+      const TicketStatus status = server.poll(entry.second);
+      if (status == TicketStatus::Done || status == TicketStatus::Failed) {
+        latency_ms.add(server.latency_seconds(entry.second) * 1e3);
+        (void)server.take(entry.second, result);
+        if (status == TicketStatus::Done) cmax_stats.add(result.cmax);
+        ++completed;
+      } else {
+        outstanding[kept++] = entry;
+      }
+    }
+    outstanding.resize(kept);
+  };
+
+  WallTimer timer;
+  for (int i = 0; i < num_requests; ++i) {
+    EngineRequest request;
+    request.instance = &instances[static_cast<std::size_t>(i)];
+    request.algorithm = algorithm;
+    Ticket ticket = server.submit(request);
+    if (!ticket.accepted()) {
+      // Overloaded: an admission-bounded server says no instead of
+      // queueing without bound (a real front-end would return 429). This
+      // client applies backpressure — block on the oldest outstanding
+      // ticket, retire finished work, then retry once.
+      ++rejected;
+      if (!outstanding.empty()) {
+        (void)server.wait(outstanding.front().second);
+        reap();
+      }
+      ticket = server.submit(request);
+      if (!ticket.accepted()) continue;  // still saturated: drop
+    }
+    outstanding.emplace_back(i, ticket);
+    if (outstanding.size() >= static_cast<std::size_t>(options.queue_capacity) / 2) {
+      reap();
+    }
+  }
+  server.drain();
+  reap();
+  const double elapsed = timer.seconds();
+
+  const AsyncStats stats = server.stats();
+  std::printf("streamed %d requests in %.2f ms: %d served, %d rejected "
+              "(admission bound %d)\n",
+              num_requests, elapsed * 1e3, completed, rejected,
+              options.queue_capacity);
+  std::printf("throughput %.1f req/s; latency ms mean %.3f [%.3f, %.3f]\n",
+              static_cast<double>(completed) / elapsed, latency_ms.mean(),
+              latency_ms.min(), latency_ms.max());
+  std::printf("batches %llu (size-flush %llu, deadline-flush %llu, forced "
+              "%llu); mean batch %.1f requests\n",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.size_flushes),
+              static_cast<unsigned long long>(stats.deadline_flushes),
+              static_cast<unsigned long long>(stats.forced_flushes),
+              stats.batches > 0
+                  ? static_cast<double>(stats.completed + stats.failed) /
+                        static_cast<double>(stats.batches)
+                  : 0.0);
+  std::printf("schedule quality: mean cmax %.2f over %s requests\n",
+              cmax_stats.mean(), algorithm_name.c_str());
+  return 0;
+}

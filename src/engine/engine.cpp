@@ -132,12 +132,16 @@ void SchedulerEngine::schedule_batch(
     const std::vector<EngineRequest>& requests,
     std::vector<EngineResult>& results) {
   results.resize(requests.size());
-  run_indexed(requests.size(),
-              [&](EngineWorkspace& ws, std::size_t i) {
-                serve_offline(requests[i], options_.keep_schedules, ws,
-                              results[i]);
-              });
-  stats_.requests += requests.size();
+  schedule_batch_into(requests.data(), requests.size(), results.data());
+}
+
+void SchedulerEngine::schedule_batch_into(const EngineRequest* requests,
+                                          std::size_t count,
+                                          EngineResult* results) {
+  run_indexed(count, [&](EngineWorkspace& ws, std::size_t i) {
+    serve_offline(requests[i], options_.keep_schedules, ws, results[i]);
+  });
+  stats_.requests += count;
 }
 
 std::vector<EngineResult> SchedulerEngine::schedule_all(

@@ -131,6 +131,15 @@ class SchedulerEngine {
   void schedule_batch(const std::vector<EngineRequest>& requests,
                       std::vector<EngineResult>& results);
 
+  /// Batch-assembly hook for serving layers that coalesce requests in
+  /// their own storage (serve/async_scheduler.hpp assembles batches from
+  /// ring-buffer slots): serve `count` requests from raw arrays.
+  /// `results` must point at `count` constructed EngineResult slots.
+  /// Identical semantics and determinism to the vector overloads; adds no
+  /// heap allocation of its own.
+  void schedule_batch_into(const EngineRequest* requests, std::size_t count,
+                           EngineResult* results);
+
   /// Convenience: one algorithm/options for a whole instance set.
   [[nodiscard]] std::vector<EngineResult> schedule_all(
       const std::vector<Instance>& instances,

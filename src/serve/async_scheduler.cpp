@@ -1,0 +1,488 @@
+#include "serve/async_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/mpmc_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace moldsched {
+
+namespace {
+
+/// Strand states. A shard's drain task is posted to the shared pool at
+/// most once at a time: producers move Idle -> Scheduled (and post), the
+/// running drain moves Scheduled -> Running, producers racing a running
+/// drain move Running -> Rescheduled, and the drain either retires
+/// (Running -> Idle) or loops when it lost that race.
+enum StrandState : int { kIdle = 0, kScheduled, kRunning, kRescheduled };
+
+[[nodiscard]] bool is_terminal(TicketStatus status) noexcept {
+  return status == TicketStatus::Done || status == TicketStatus::Failed ||
+         status == TicketStatus::Rejected || status == TicketStatus::Invalid;
+}
+
+[[nodiscard]] std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+AsyncOptions validated(AsyncOptions options) {
+  if (options.shards <= 0) {
+    throw std::invalid_argument("AsyncScheduler: shards <= 0");
+  }
+  if (options.max_batch <= 0) {
+    throw std::invalid_argument("AsyncScheduler: max_batch <= 0");
+  }
+  if (options.queue_capacity <= 0) {
+    throw std::invalid_argument("AsyncScheduler: queue_capacity <= 0");
+  }
+  return options;
+}
+
+}  // namespace
+
+const char* to_string(TicketStatus status) noexcept {
+  switch (status) {
+    case TicketStatus::Invalid: return "invalid";
+    case TicketStatus::Rejected: return "rejected";
+    case TicketStatus::Pending: return "pending";
+    case TicketStatus::Running: return "running";
+    case TicketStatus::Done: return "done";
+    case TicketStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+struct AsyncScheduler::Impl {
+  /// One pre-allocated request slot; the fixed slot table is the admission
+  /// bound. `ticket` + `status` are the only cross-thread handshake; the
+  /// payload fields are published by the MPMC ring's release/acquire pair.
+  struct Slot {
+    std::atomic<std::uint64_t> ticket{0};
+    std::atomic<TicketStatus> status{TicketStatus::Invalid};
+    std::int64_t submit_ns = 0;
+    std::int64_t done_ns = 0;
+    EngineRequest request;
+    EngineResult result;
+    std::string error;
+  };
+
+  /// One engine shard: coalescing queue + engine (with its pooled
+  /// per-strand workspaces) + reusable batch-assembly buffers. The shard
+  /// itself is the PostedTask so dispatching it allocates nothing.
+  struct Shard : ThreadPool::PostedTask {
+    Shard(Impl& owner, const AsyncOptions& options)
+        : impl(&owner),
+          pending(static_cast<std::size_t>(options.queue_capacity)),
+          engine(EngineOptions{1, options.keep_schedules}) {}
+
+    void run() noexcept override {
+      strand_state.store(kRunning, std::memory_order_relaxed);
+      for (;;) {
+        impl->drain_shard(*this);
+        int expected = kRunning;
+        if (strand_state.compare_exchange_strong(expected, kIdle)) return;
+        // Lost the race with a producer (Rescheduled): drain again instead
+        // of a post round-trip.
+        strand_state.store(kRunning, std::memory_order_relaxed);
+      }
+    }
+
+    Impl* impl;
+    MpmcQueue<std::uint32_t> pending;  ///< submitted slot indices
+    std::atomic<std::int64_t> first_pending_ns{0};
+    std::atomic<int> strand_state{kIdle};
+    SchedulerEngine engine;
+    std::vector<std::uint32_t> batch_slots;
+    std::vector<EngineRequest> batch_requests;
+    std::vector<EngineResult> batch_results;
+  };
+
+  explicit Impl(const AsyncOptions& validated_options)
+      : options(validated_options),
+        slots(static_cast<std::size_t>(options.queue_capacity)),
+        free_slots(static_cast<std::size_t>(options.queue_capacity)) {
+    // Per-scheduler ticket-id space (process-wide serial in the high
+    // bits): a ticket handed to the wrong AsyncScheduler can never match
+    // a slot's ticket id, so it polls Invalid as the header promises.
+    static std::atomic<std::uint64_t> scheduler_serial{0};
+    next_ticket.store(
+        (scheduler_serial.fetch_add(1, std::memory_order_relaxed) << 40) + 1,
+        std::memory_order_relaxed);
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(options.queue_capacity); ++i) {
+      free_slots.try_push(i);  // ring capacity >= queue_capacity
+    }
+    shards.reserve(static_cast<std::size_t>(options.shards));
+    for (int s = 0; s < options.shards; ++s) {
+      shards.push_back(std::make_unique<Shard>(*this, options));
+    }
+    if (options.flush_after_ms > 0.0) {
+      flusher = std::thread([this] { flusher_loop(); });
+    }
+  }
+
+  /// Ensure the shard's drain task will observe its queue: schedule it on
+  /// the pool when idle, or flag a running drain to loop once more. True
+  /// when this call made a difference (used only for the flush counters).
+  bool activate(Shard& shard) {
+    for (;;) {
+      int state = shard.strand_state.load(std::memory_order_acquire);
+      if (state == kIdle) {
+        if (shard.strand_state.compare_exchange_weak(state, kScheduled)) {
+          shared_thread_pool().post(shard);
+          return true;
+        }
+      } else if (state == kRunning) {
+        if (shard.strand_state.compare_exchange_weak(state, kRescheduled)) {
+          return true;
+        }
+      } else {
+        return false;  // already Scheduled/Rescheduled
+      }
+    }
+  }
+
+  /// The strand body: pop up to max_batch pending slots, serve them as one
+  /// engine batch, publish results, repeat until the queue is empty.
+  /// Steady state performs no heap allocation (reused assembly buffers,
+  /// metrics-only engine path, in-place result moves).
+  void drain_shard(Shard& shard) {
+    for (;;) {
+      shard.batch_slots.clear();
+      std::uint32_t index = 0;
+      while (shard.batch_slots.size() <
+                 static_cast<std::size_t>(options.max_batch) &&
+             shard.pending.try_pop(index)) {
+        shard.batch_slots.push_back(index);
+      }
+      if (shard.batch_slots.empty()) {
+        // Racy with a concurrent submit; the flusher treats a non-empty
+        // queue with no timestamp as already overdue, so a lost stamp only
+        // costs one tick of latency, never a stall.
+        shard.first_pending_ns.store(0, std::memory_order_relaxed);
+        return;
+      }
+      const std::size_t count = shard.batch_slots.size();
+      if (shard.batch_requests.size() < count) {
+        shard.batch_requests.resize(count);
+        shard.batch_results.resize(count);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        Slot& slot = slots[shard.batch_slots[i]];
+        shard.batch_requests[i] = slot.request;
+        slot.status.store(TicketStatus::Running, std::memory_order_relaxed);
+      }
+      bool failed = false;
+      try {
+        shard.engine.schedule_batch_into(shard.batch_requests.data(), count,
+                                         shard.batch_results.data());
+      } catch (const std::exception& e) {
+        failed = true;
+        for (std::size_t i = 0; i < count; ++i) {
+          slots[shard.batch_slots[i]].error.assign(e.what());
+        }
+      } catch (...) {
+        failed = true;
+        for (std::size_t i = 0; i < count; ++i) {
+          slots[shard.batch_slots[i]].error.assign(
+              "AsyncScheduler: unknown engine error");
+        }
+      }
+      const std::int64_t done = now_ns();
+      for (std::size_t i = 0; i < count; ++i) {
+        Slot& slot = slots[shard.batch_slots[i]];
+        if (failed) {
+          slot.result.cmax = 0.0;
+          slot.result.weighted_completion_sum = 0.0;
+          slot.result.has_schedule = false;
+          slot.result.diag = DemtDiagnostics{};
+        } else {
+          slot.result = std::move(shard.batch_results[i]);
+          slot.error.clear();
+        }
+        slot.done_ns = done;
+        slot.status.store(failed ? TicketStatus::Failed : TicketStatus::Done,
+                          std::memory_order_release);
+      }
+      stat_batches.fetch_add(1, std::memory_order_relaxed);
+      (failed ? stat_failed : stat_completed)
+          .fetch_add(count, std::memory_order_relaxed);
+      live_count.fetch_sub(static_cast<std::int64_t>(count),
+                           std::memory_order_release);
+      // Status stores above / waiters load below form a Dekker pair with
+      // wait()'s waiters increment / status read: both sides fence with
+      // seq_cst so at least one side always sees the other's store —
+      // otherwise a completion could skip notify while the waiter sleeps
+      // on the stale status, a lost wakeup with no timeout to save it.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (waiters.load(std::memory_order_relaxed) > 0) {
+        const std::lock_guard lock(wait_mutex);
+        wait_cv.notify_all();
+      }
+    }
+  }
+
+  void flusher_loop() {
+    const auto deadline_ns =
+        static_cast<std::int64_t>(std::llround(options.flush_after_ms * 1e6));
+    // Tick at half the deadline (clamped to [50us, 50ms]) so no request
+    // waits much past ~1.5 deadlines before dispatch.
+    const auto tick = std::chrono::nanoseconds(std::clamp<std::int64_t>(
+        deadline_ns / 2, 50'000, 50'000'000));
+    std::unique_lock lock(flusher_mutex);
+    while (!flusher_stop) {
+      flusher_cv.wait_for(lock, tick);
+      if (flusher_stop) break;
+      const std::int64_t now = now_ns();
+      for (auto& shard : shards) {
+        if (shard->pending.approx_size() == 0) continue;
+        const std::int64_t first =
+            shard->first_pending_ns.load(std::memory_order_relaxed);
+        if (first == 0 || now - first >= deadline_ns) {
+          if (activate(*shard)) {
+            stat_deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+  }
+
+  AsyncOptions options;
+  std::vector<Slot> slots;
+  MpmcQueue<std::uint32_t> free_slots;
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  std::atomic<std::uint64_t> next_ticket;  // seeded per scheduler, see ctor
+  std::atomic<std::int64_t> in_use_count{0};  ///< accepted, not yet taken
+  std::atomic<std::int64_t> live_count{0};    ///< accepted, not yet terminal
+  std::atomic<bool> stopping{false};
+
+  std::atomic<std::uint64_t> stat_submitted{0};
+  std::atomic<std::uint64_t> stat_rejected{0};
+  std::atomic<std::uint64_t> stat_completed{0};
+  std::atomic<std::uint64_t> stat_failed{0};
+  std::atomic<std::uint64_t> stat_batches{0};
+  std::atomic<std::uint64_t> stat_size_flushes{0};
+  std::atomic<std::uint64_t> stat_deadline_flushes{0};
+  std::atomic<std::uint64_t> stat_forced_flushes{0};
+
+  std::atomic<int> waiters{0};
+  std::mutex wait_mutex;
+  std::condition_variable wait_cv;
+
+  std::thread flusher;
+  std::mutex flusher_mutex;
+  std::condition_variable flusher_cv;
+  bool flusher_stop = false;
+};
+
+AsyncScheduler::AsyncScheduler(AsyncOptions options)
+    : impl_(std::make_unique<Impl>(validated(options))) {}
+
+AsyncScheduler::~AsyncScheduler() {
+  Impl& im = *impl_;
+  im.stopping.store(true, std::memory_order_release);
+  drain();
+  if (im.flusher.joinable()) {
+    {
+      const std::lock_guard lock(im.flusher_mutex);
+      im.flusher_stop = true;
+    }
+    im.flusher_cv.notify_all();
+    im.flusher.join();
+  }
+  // Let any still-queued strand activation retire before members die.
+  for (auto& shard : im.shards) {
+    while (shard->strand_state.load(std::memory_order_acquire) != kIdle) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Ticket AsyncScheduler::submit(const EngineRequest& request) {
+  Impl& im = *impl_;
+  if (request.instance == nullptr) {
+    throw std::invalid_argument("AsyncScheduler: request without instance");
+  }
+  if (im.stopping.load(std::memory_order_acquire)) {
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
+  }
+  std::uint32_t slot_index = 0;
+  if (!im.free_slots.try_pop(slot_index)) {
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
+  }
+  Impl::Slot& slot = im.slots[slot_index];
+  const std::uint64_t id =
+      im.next_ticket.fetch_add(1, std::memory_order_relaxed);
+  slot.request = request;
+  slot.submit_ns = now_ns();
+  slot.done_ns = 0;
+  slot.ticket.store(id, std::memory_order_relaxed);
+  slot.status.store(TicketStatus::Pending, std::memory_order_release);
+  im.in_use_count.fetch_add(1, std::memory_order_relaxed);
+  im.live_count.fetch_add(1, std::memory_order_relaxed);
+  im.stat_submitted.fetch_add(1, std::memory_order_relaxed);
+
+  Impl::Shard& shard = *im.shards[id % im.shards.size()];
+  std::int64_t no_stamp = 0;
+  shard.first_pending_ns.compare_exchange_strong(no_stamp, slot.submit_ns,
+                                                 std::memory_order_relaxed);
+  while (!shard.pending.try_push(slot_index)) {
+    // Unreachable by construction (ring capacity >= queue_capacity and at
+    // most queue_capacity slots circulate); yield defensively.
+    std::this_thread::yield();
+  }
+  if (shard.pending.approx_size() >=
+      static_cast<std::size_t>(im.options.max_batch)) {
+    if (im.activate(shard)) {
+      im.stat_size_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (im.options.flush_after_ms <= 0.0) {
+    if (im.activate(shard)) {
+      im.stat_deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Ticket{id, slot_index};
+}
+
+TicketStatus AsyncScheduler::poll(const Ticket& ticket) const noexcept {
+  if (!ticket.accepted()) return TicketStatus::Rejected;
+  if (ticket.slot >= impl_->slots.size()) {
+    return TicketStatus::Invalid;  // ticket from another scheduler
+  }
+  const Impl::Slot& slot = impl_->slots[ticket.slot];
+  if (slot.ticket.load(std::memory_order_acquire) != ticket.id) {
+    return TicketStatus::Invalid;
+  }
+  return slot.status.load(std::memory_order_acquire);
+}
+
+TicketStatus AsyncScheduler::wait(const Ticket& ticket) {
+  Impl& im = *impl_;
+  TicketStatus status = poll(ticket);
+  if (is_terminal(status)) return status;
+  // Force the ticket's shard out of its coalescing wait: a partial batch
+  // must not stall a caller who has declared they want the result now.
+  if (im.activate(*im.shards[ticket.id % im.shards.size()])) {
+    im.stat_forced_flushes.fetch_add(1, std::memory_order_relaxed);
+  }
+  im.waiters.fetch_add(1, std::memory_order_relaxed);
+  // Second half of the Dekker pair with drain_shard (see there).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  {
+    std::unique_lock lock(im.wait_mutex);
+    im.wait_cv.wait(lock, [&] {
+      status = poll(ticket);
+      return is_terminal(status);
+    });
+  }
+  im.waiters.fetch_sub(1, std::memory_order_relaxed);
+  return status;
+}
+
+bool AsyncScheduler::take(const Ticket& ticket, EngineResult& out) {
+  Impl& im = *impl_;
+  if (!ticket.accepted() || ticket.slot >= im.slots.size()) return false;
+  Impl::Slot& slot = im.slots[ticket.slot];
+  if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return false;
+  const TicketStatus status = slot.status.load(std::memory_order_acquire);
+  if (status != TicketStatus::Done && status != TicketStatus::Failed) {
+    return false;
+  }
+  out = std::move(slot.result);
+  slot.ticket.store(0, std::memory_order_relaxed);
+  slot.status.store(TicketStatus::Invalid, std::memory_order_release);
+  im.in_use_count.fetch_sub(1, std::memory_order_relaxed);
+  while (!im.free_slots.try_push(ticket.slot)) {
+    std::this_thread::yield();  // unreachable; see submit()
+  }
+  return true;
+}
+
+std::string AsyncScheduler::error(const Ticket& ticket) const {
+  const Impl& im = *impl_;
+  if (!ticket.accepted() || ticket.slot >= im.slots.size()) return {};
+  const Impl::Slot& slot = im.slots[ticket.slot];
+  if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return {};
+  if (slot.status.load(std::memory_order_acquire) != TicketStatus::Failed) {
+    return {};
+  }
+  return slot.error;
+}
+
+double AsyncScheduler::latency_seconds(const Ticket& ticket) const noexcept {
+  if (!ticket.accepted() || ticket.slot >= impl_->slots.size()) return 0.0;
+  const Impl::Slot& slot = impl_->slots[ticket.slot];
+  if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return 0.0;
+  const TicketStatus status = slot.status.load(std::memory_order_acquire);
+  if (status != TicketStatus::Done && status != TicketStatus::Failed) {
+    return 0.0;
+  }
+  return static_cast<double>(slot.done_ns - slot.submit_ns) * 1e-9;
+}
+
+void AsyncScheduler::flush() {
+  Impl& im = *impl_;
+  for (auto& shard : im.shards) {
+    if (shard->pending.approx_size() == 0) continue;
+    if (im.activate(*shard)) {
+      im.stat_forced_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void AsyncScheduler::drain() {
+  Impl& im = *impl_;
+  im.waiters.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_lock lock(im.wait_mutex);
+  while (im.live_count.load(std::memory_order_acquire) != 0) {
+    lock.unlock();
+    flush();
+    lock.lock();
+    im.wait_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return im.live_count.load(std::memory_order_acquire) == 0;
+    });
+  }
+  lock.unlock();
+  im.waiters.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t AsyncScheduler::in_flight() const noexcept {
+  const std::int64_t live = impl_->in_use_count.load(std::memory_order_relaxed);
+  return live > 0 ? static_cast<std::size_t>(live) : 0;
+}
+
+AsyncStats AsyncScheduler::stats() const {
+  const Impl& im = *impl_;
+  AsyncStats stats;
+  stats.submitted = im.stat_submitted.load(std::memory_order_relaxed);
+  stats.rejected = im.stat_rejected.load(std::memory_order_relaxed);
+  stats.completed = im.stat_completed.load(std::memory_order_relaxed);
+  stats.failed = im.stat_failed.load(std::memory_order_relaxed);
+  stats.batches = im.stat_batches.load(std::memory_order_relaxed);
+  stats.size_flushes = im.stat_size_flushes.load(std::memory_order_relaxed);
+  stats.deadline_flushes =
+      im.stat_deadline_flushes.load(std::memory_order_relaxed);
+  stats.forced_flushes =
+      im.stat_forced_flushes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+const AsyncOptions& AsyncScheduler::options() const noexcept {
+  return impl_->options;
+}
+
+}  // namespace moldsched

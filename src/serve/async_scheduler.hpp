@@ -1,0 +1,163 @@
+/// \file async_scheduler.hpp
+/// Asynchronous submit/poll serving layer over sharded SchedulerEngines.
+/// The batch engine (engine/engine.hpp) is a blocking call: the caller
+/// assembles a whole batch and waits. AsyncScheduler turns it into a
+/// server front-end — `submit` returns immediately with a Ticket, requests
+/// coalesce into engine batches per shard (flushed when a batch fills or a
+/// deadline passes), shard strands execute on the process-wide
+/// shared_thread_pool(), and `poll`/`wait`/`take` retrieve results.
+///
+/// Admission control: the scheduler owns a fixed table of
+/// `queue_capacity` request slots. When every slot is in flight
+/// (submitted but not yet take()n), submit refuses the request with a
+/// rejected Ticket (`poll` == TicketStatus::Rejected) instead of growing
+/// a queue without bound.
+///
+/// Determinism contract: a request's result is a pure function of the
+/// EngineRequest — the engine's per-request determinism (pre-forked
+/// shuffle RNG streams, sequential acceptance replay) makes every DEMT
+/// call self-contained — so results are bit-identical to the synchronous
+/// `SchedulerEngine::schedule_batch` path for any shard count, pool size,
+/// batch size, and flush timing. Only latency and throughput change.
+///
+/// Allocation contract: after warm-up, the submit → coalesce → dispatch →
+/// poll/take cycle performs zero heap allocations per request on the
+/// metrics-only FlatList path (slot table, MPMC rings, and strand posting
+/// are all pre-allocated; measured by bench/serve_throughput.cpp).
+///
+/// Threading: submit/poll/wait/take/flush are safe from any number of
+/// threads. Each Ticket has one consumer: two threads must not wait on or
+/// take the same Ticket. Never call wait/drain from a shared-pool worker
+/// thread (the strand you would wait on may be queued behind you).
+///
+/// Full operator documentation (lifecycle diagram, tuning, failure
+/// semantics): docs/SERVING.md.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace moldsched {
+
+/// Lifecycle of a submitted request. Terminal states: Rejected, Done,
+/// Failed — plus Invalid once the ticket's slot has been take()n (or for a
+/// ticket this scheduler never issued).
+enum class TicketStatus {
+  Invalid,   ///< unknown ticket: never issued, already taken, slot reused
+  Rejected,  ///< refused at admission: queue_capacity slots already in flight
+  Pending,   ///< accepted; waiting in its shard's coalescing queue
+  Running,   ///< being served inside an engine batch on a shard strand
+  Done,      ///< result available through take()
+  Failed,    ///< the engine threw for this batch; error(ticket) explains
+};
+
+/// Human-readable status name (stable strings, for logs and benches).
+[[nodiscard]] const char* to_string(TicketStatus status) noexcept;
+
+/// Handle to one submitted request. Value type, freely copyable; id 0
+/// means the request was rejected at admission.
+struct Ticket {
+  std::uint64_t id = 0;    ///< unique per accepted request; 0 = rejected
+  std::uint32_t slot = 0;  ///< slot index inside the scheduler's table
+  [[nodiscard]] bool accepted() const noexcept { return id != 0; }
+};
+
+struct AsyncOptions {
+  /// Engine shards. Each shard owns one SchedulerEngine (and through it a
+  /// pooled workspace set) and one coalescing queue; accepted requests are
+  /// routed round-robin in submission order. More shards = more batches in
+  /// flight concurrently on the shared pool.
+  int shards = 1;
+  /// Size-triggered flush: a shard dispatches as soon as this many
+  /// requests are waiting (a dispatched batch never exceeds this size).
+  int max_batch = 16;
+  /// Deadline-triggered flush: no accepted request waits in a coalescing
+  /// queue longer than about this long before its shard is dispatched,
+  /// even when the batch is not full. <= 0 dispatches on every submit
+  /// (lowest latency, smallest batches).
+  double flush_after_ms = 1.0;
+  /// Admission bound: maximum requests in flight (accepted but not yet
+  /// take()n). Beyond it, submit returns a rejected Ticket.
+  int queue_capacity = 1024;
+  /// Materialise a Schedule per result (metrics-only serving when false —
+  /// the allocation-free path).
+  bool keep_schedules = false;
+};
+
+/// Cumulative counters; read through AsyncScheduler::stats().
+struct AsyncStats {
+  std::uint64_t submitted = 0;         ///< accepted requests
+  std::uint64_t rejected = 0;          ///< refused at admission
+  std::uint64_t completed = 0;         ///< reached Done
+  std::uint64_t failed = 0;            ///< reached Failed
+  std::uint64_t batches = 0;           ///< engine batches dispatched
+  std::uint64_t size_flushes = 0;  ///< dispatches triggered by max_batch
+  /// Dispatches triggered by the deadline policy — the background flusher
+  /// when flush_after_ms > 0, submit-time immediate dispatch (deadline 0)
+  /// when flush_after_ms <= 0.
+  std::uint64_t deadline_flushes = 0;
+  std::uint64_t forced_flushes = 0;    ///< dispatches via flush()/wait()/drain()
+};
+
+class AsyncScheduler {
+ public:
+  /// Throws std::invalid_argument on non-positive shards, max_batch, or
+  /// queue_capacity.
+  explicit AsyncScheduler(AsyncOptions options = {});
+  /// Drains in-flight requests, then stops the flusher and strands.
+  ~AsyncScheduler();
+
+  AsyncScheduler(const AsyncScheduler&) = delete;
+  AsyncScheduler& operator=(const AsyncScheduler&) = delete;
+
+  /// Non-blocking admission. Returns a rejected Ticket (accepted() ==
+  /// false) when queue_capacity requests are already in flight. The
+  /// request is copied; the Instance it points at is borrowed and must
+  /// stay alive until the ticket is terminal. Throws std::invalid_argument
+  /// on a request without an instance.
+  [[nodiscard]] Ticket submit(const EngineRequest& request);
+
+  /// Non-blocking status check.
+  [[nodiscard]] TicketStatus poll(const Ticket& ticket) const noexcept;
+
+  /// Block until the ticket is terminal (forcing its shard to flush so a
+  /// partial batch cannot stall the caller); returns the terminal status.
+  TicketStatus wait(const Ticket& ticket);
+
+  /// Move the result out and free the slot for admission. True only when
+  /// the ticket was Done (or Failed: `out` is then default metrics). After
+  /// take, the ticket polls as Invalid.
+  bool take(const Ticket& ticket, EngineResult& out);
+
+  /// Error message of a Failed ticket ("" otherwise). Valid until take().
+  [[nodiscard]] std::string error(const Ticket& ticket) const;
+
+  /// Submit-to-done latency of a Done/Failed ticket, in seconds (0 while
+  /// non-terminal). Valid until take().
+  [[nodiscard]] double latency_seconds(const Ticket& ticket) const noexcept;
+
+  /// Dispatch every shard's partial batch now (non-blocking).
+  void flush();
+
+  /// Block until every accepted request is terminal (Done/Failed). Flushes
+  /// as it goes; does not require results to have been take()n. New
+  /// submits during drain extend it.
+  void drain();
+
+  /// Requests currently in flight (accepted, not yet take()n) — the value
+  /// admission compares against queue_capacity.
+  [[nodiscard]] std::size_t in_flight() const noexcept;
+
+  [[nodiscard]] AsyncStats stats() const;
+  [[nodiscard]] const AsyncOptions& options() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace moldsched

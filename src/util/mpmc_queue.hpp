@@ -1,0 +1,114 @@
+/// \file mpmc_queue.hpp
+/// Bounded lock-free multi-producer/multi-consumer FIFO (Vyukov ring
+/// buffer). This is the submission queue of the async serving layer: every
+/// push/pop is one CAS plus one release store on a pre-allocated cell, so
+/// the steady-state submit/poll path performs no heap allocation and takes
+/// no lock. Capacity is fixed at construction (rounded up to a power of
+/// two); a full queue fails the push instead of growing, which is exactly
+/// the admission-control behaviour the serving layer wants.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace moldsched {
+
+/// Fixed-capacity MPMC FIFO. T must be default-constructible and movable.
+/// try_push/try_pop are safe from any number of threads concurrently;
+/// FIFO order holds per producer (interleaving across producers follows
+/// the ticket order of the internal counters).
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is `min_capacity` rounded up to a power of two (at least 2).
+  explicit MpmcQueue(std::size_t min_capacity) {
+    std::size_t capacity = 2;
+    while (capacity < min_capacity) capacity <<= 1;
+    cells_ = std::vector<Cell>(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+    mask_ = capacity - 1;
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// False when the queue is full. Never blocks, never allocates.
+  bool try_push(T value) {
+    Cell* cell;
+    std::size_t pos = push_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (push_pos_.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = push_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty. Never blocks, never allocates.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = pop_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (pop_pos_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = pop_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Racy size estimate (push counter minus pop counter); exact only when
+  /// no operation is in flight. Used for flush heuristics, never for
+  /// correctness.
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t pushed = push_pos_.load(std::memory_order_relaxed);
+    const std::size_t popped = pop_pos_.load(std::memory_order_relaxed);
+    return pushed >= popped ? pushed - popped : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> push_pos_{0};
+  alignas(64) std::atomic<std::size_t> pop_pos_{0};
+};
+
+}  // namespace moldsched

@@ -41,6 +41,20 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+void ThreadPool::post(PostedTask& task) {
+  task.next_ = nullptr;
+  {
+    const std::lock_guard lock(mutex_);
+    if (posted_tail_ == nullptr) {
+      posted_head_ = &task;
+    } else {
+      posted_tail_->next_ = &task;
+    }
+    posted_tail_ = &task;
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& f) {
   parallel_for_slots(begin, end,
@@ -96,14 +110,30 @@ void ThreadPool::worker_loop() {
   t_is_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
+    PostedTask* posted = nullptr;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || posted_head_ != nullptr;
+      });
+      if (posted_head_ != nullptr) {
+        // Unlink before run(): the node is free to be re-posted (by any
+        // thread, including its own run()) the moment we drop the lock.
+        posted = posted_head_;
+        posted_head_ = posted->next_;
+        if (posted_head_ == nullptr) posted_tail_ = nullptr;
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stopping_ and both queues drained
+      }
     }
-    task();  // exceptions captured by the packaged_task
+    if (posted != nullptr) {
+      posted->run();  // noexcept by contract
+    } else {
+      task();  // exceptions captured by the packaged_task
+    }
   }
 }
 

@@ -32,6 +32,33 @@ class ThreadPool {
   /// exception the task raised.
   std::future<void> submit(std::function<void()> task);
 
+  /// Pre-allocated fire-and-forget work item for `post`: the node embeds
+  /// its own queue link, so posting performs no heap allocation — the
+  /// primitive behind the async serving layer's shard strands, whose
+  /// steady-state dispatch must not allocate per batch. Contract: the node
+  /// must outlive its run() call and must not be re-posted while still
+  /// queued; the worker unlinks the node *before* calling run(), so run()
+  /// itself may re-post the node (the strand re-arm pattern). run() must
+  /// not throw — there is no future to carry the exception.
+  class PostedTask {
+   public:
+    PostedTask() = default;
+    virtual ~PostedTask() = default;
+    PostedTask(const PostedTask&) = delete;
+    PostedTask& operator=(const PostedTask&) = delete;
+
+    virtual void run() noexcept = 0;
+
+   private:
+    friend class ThreadPool;
+    PostedTask* next_ = nullptr;
+  };
+
+  /// Allocation-free fire-and-forget submission: link `task` into the
+  /// intrusive FIFO and wake one worker. No completion handle — callers
+  /// that need one use submit().
+  void post(PostedTask& task);
+
   /// Run f(i) for i in [begin, end) across the pool and wait. Exceptions
   /// from the body are collected and the first one re-thrown.
   void parallel_for(std::size_t begin, std::size_t end,
@@ -61,6 +88,8 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
+  PostedTask* posted_head_ = nullptr;
+  PostedTask* posted_tail_ = nullptr;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -184,6 +184,61 @@ TEST(Engine, StatsCountRequestsAndBatches) {
   EXPECT_EQ(engine.stats().strands_last_batch, 1);
 }
 
+TEST(Engine, EmptyBatchIsServedWithoutDispatch) {
+  SchedulerEngine engine(EngineOptions{0, true});
+  std::vector<EngineRequest> no_requests;
+  std::vector<EngineResult> results(3);  // stale storage must be cleared
+  engine.schedule_batch(no_requests, results);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(engine.stats().requests, 0u);
+  EXPECT_EQ(engine.stats().batches, 0u);
+  std::vector<OnlineRequest> no_online;
+  std::vector<FlatOnlineResult> online_results;
+  engine.simulate_batch(no_online, online_results);
+  EXPECT_TRUE(online_results.empty());
+}
+
+TEST(Engine, SingleRequestBatchMatchesDirectCall) {
+  const auto instances = make_instances(1, 25, 12, 23);
+  for (int workers : {1, 0}) {
+    SchedulerEngine engine(EngineOptions{workers, true});
+    const auto results = engine.schedule_all(instances);
+    ASSERT_EQ(results.size(), 1u);
+    const auto direct = demt_schedule(instances[0]);
+    EXPECT_EQ(results[0].cmax, direct.schedule.cmax());
+    expect_identical(results[0].schedule, direct.schedule);
+    EXPECT_EQ(engine.stats().strands_last_batch, 1);  // never > batch size
+  }
+}
+
+TEST(Engine, RawPointerBatchHookMatchesVectorOverload) {
+  // schedule_batch_into is the async layer's batch-assembly hook; it must
+  // be bit-identical to the vector path it backs.
+  const auto instances = make_instances(5, 30, 12, 29);
+  std::vector<EngineRequest> requests(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    requests[i].instance = &instances[i];
+    requests[i].algorithm =
+        i % 2 == 0 ? EngineAlgorithm::Demt : EngineAlgorithm::FlatList;
+  }
+  SchedulerEngine vector_engine(EngineOptions{1, true});
+  std::vector<EngineResult> expected;
+  vector_engine.schedule_batch(requests, expected);
+
+  SchedulerEngine raw_engine(EngineOptions{1, true});
+  std::vector<EngineResult> actual(requests.size());
+  raw_engine.schedule_batch_into(requests.data(), requests.size(),
+                                 actual.data());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].cmax, expected[i].cmax);
+    EXPECT_EQ(actual[i].weighted_completion_sum,
+              expected[i].weighted_completion_sum);
+    expect_identical(actual[i].schedule, expected[i].schedule);
+  }
+  EXPECT_EQ(raw_engine.stats().requests, requests.size());
+}
+
 TEST(Engine, RejectsBadRequests) {
   SchedulerEngine engine;
   EXPECT_THROW((void)engine.schedule_batch({EngineRequest{}}),

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "util/mpmc_queue.hpp"
 
 namespace moldsched {
 namespace {
@@ -65,6 +70,123 @@ TEST(ThreadPool, ManyMoreTasksThanWorkers) {
 TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+namespace {
+/// Counting PostedTask that signals a condition variable when the target
+/// number of runs is reached (post() has no completion future).
+struct CountingTask : ThreadPool::PostedTask {
+  void run() noexcept override {
+    // The increment happens under the mutex: await()'s predicate (also
+    // under the mutex) cannot be satisfied while run() still holds the
+    // lock, so the task cannot be destroyed under a live run() even on a
+    // spurious wakeup.
+    const std::lock_guard lock(mutex);
+    if (++runs >= target.load()) cv.notify_all();
+  }
+  void await(int expected) {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return runs.load() >= expected; });
+  }
+  std::atomic<int> runs{0};
+  std::atomic<int> target{1};
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+}  // namespace
+
+TEST(ThreadPool, PostRunsPreallocatedTasks) {
+  CountingTask task;  // outlives the pool: workers join before it dies
+  ThreadPool pool(2);
+  task.target = 1;
+  pool.post(task);
+  task.await(1);
+  EXPECT_EQ(task.runs.load(), 1);
+  // The node is reusable once run() returned.
+  task.target = 2;
+  pool.post(task);
+  task.await(2);
+  EXPECT_EQ(task.runs.load(), 2);
+}
+
+TEST(ThreadPool, PostInterleavesWithSubmit) {
+  CountingTask task;  // outlives the pool: workers join before it dies
+  ThreadPool pool(2);
+  task.target = 1;
+  std::atomic<int> submitted{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&submitted] { ++submitted; }));
+  }
+  pool.post(task);
+  for (auto& f : futures) f.get();
+  task.await(1);
+  EXPECT_EQ(submitted.load(), 20);
+  EXPECT_EQ(task.runs.load(), 1);
+}
+
+TEST(MpmcQueue, FifoWithinCapacity) {
+  MpmcQueue<int> queue(4);
+  EXPECT_GE(queue.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(MpmcQueue, FullQueueFailsPushInsteadOfGrowing) {
+  MpmcQueue<int> queue(2);
+  const auto capacity = queue.capacity();
+  for (std::size_t i = 0; i < capacity; ++i) {
+    EXPECT_TRUE(queue.try_push(static_cast<int>(i)));
+  }
+  EXPECT_FALSE(queue.try_push(99));
+  EXPECT_EQ(queue.approx_size(), capacity);
+  int out = -1;
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_TRUE(queue.try_push(99));  // slot freed, push succeeds again
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  MpmcQueue<int> queue(1024);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::atomic<long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::atomic<bool> done_producing{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!queue.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      int value = 0;
+      for (;;) {
+        if (queue.try_pop(value)) {
+          popped_sum += value;
+          ++popped_count;
+        } else if (done_producing.load() && queue.approx_size() == 0) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  done_producing.store(true);
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  constexpr long kTotal = static_cast<long>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped_count.load(), kTotal);
+  EXPECT_EQ(popped_sum.load(), kTotal * (kTotal - 1) / 2);
 }
 
 }  // namespace
