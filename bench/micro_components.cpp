@@ -155,6 +155,44 @@ int main(int argc, char** argv) {
     bench("dual_approx_search", n, [&] { (void)estimate_cmax(instance); });
   }
 
+  // The same search through the pooled workspace form demt_schedule uses:
+  // after the first call, every dual_test of the bisection must run
+  // allocation-free (the pick matrix, DP rows, option pools and partition
+  // buffers all live in the workspace). Gated below.
+  bool dual_ws_ok = true;
+  for (int n : sizes) {
+    const Instance instance = make_instance(n, m, WorkloadFamily::Mixed, 3);
+    const InstanceAllotments tables(instance);
+    DualTestWorkspace ws;
+    DualTestResult scratch;
+    // Per-test allocations, isolated from the CmaxEstimate return value:
+    // one search sizes the workspace, then dual_test_into runs directly
+    // across the search's typical guess range.
+    const CmaxEstimate sized = estimate_cmax(instance, 1e-4, tables, ws);
+    dual_test_into(instance, sized.estimate, tables, ws, scratch);  // warm
+    const std::uint64_t before = g_alloc_count.load();
+    const int probes = 64;
+    for (int i = 0; i < probes; ++i) {
+      const double lambda =
+          sized.lower_bound +
+          (sized.estimate * 2.0 - sized.lower_bound) * (i + 1) / probes;
+      dual_test_into(instance, lambda, tables, ws, scratch);
+    }
+    const double per_test =
+        kAllocHookEnabled
+            ? static_cast<double>(g_alloc_count.load() - before) / probes
+            : -1.0;
+    std::cout << strfmt("%-28s n=%4d  allocs/dual_test = %.2f\n",
+                        "dual_test_steady_state", n, per_test);
+    BenchResult result;
+    result.name = "dual_test_steady_state";
+    result.n = n;
+    result.reps = probes;
+    result.allocs_per_call = per_test;
+    g_results.push_back(result);
+    if (kAllocHookEnabled && per_test != 0.0) dual_ws_ok = false;
+  }
+
   for (int n : sizes) {
     Rng rng(4);
     std::vector<ListJob> jobs;
@@ -224,5 +262,9 @@ int main(int argc, char** argv) {
   const std::string json_path =
       args.get_string("json", "BENCH_demt_micro.json");
   if (!json_path.empty()) write_json(json_path);
+  if (!dual_ws_ok) {
+    std::cerr << "ERROR: dual_test workspace path allocated per test\n";
+    return 1;
+  }
   return 0;
 }

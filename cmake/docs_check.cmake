@@ -6,11 +6,69 @@
 #     header (class/struct/enum and free functions) must be mentioned in
 #     docs/SERVING.md — the serving handbook ships with the code, not
 #     after it;
-#  3. docs/ARCHITECTURE.md must exist and cover every source layer it
+#  3. every public symbol of the online/streaming simulator headers
+#     (src/sim/online.hpp, src/sim/stream.hpp, src/sim/divisible.hpp)
+#     must be mentioned in docs/ONLINE.md — same rule for the streaming
+#     handbook;
+#  4. docs/ARCHITECTURE.md must exist and cover every source layer it
 #     promises (core/, sched/, sim/, engine/, serve/);
-#  4. docs/BENCHMARKS.md must exist and document every BENCH_*.json
+#  5. docs/BENCHMARKS.md must exist and document every BENCH_*.json
 #     report the benches emit.
 # Invoke: cmake -DREPO=<repo root> -P cmake/docs_check.cmake
+
+# Extract public symbols (type declarations and free functions at
+# namespace scope) from the ${headers} files and fail unless each one
+# appears in ${doc_text}; ${doc_name} names the document in the error
+# message. Lines are read via file(READ) with semicolons escaped and
+# square brackets stripped before splitting — file(STRINGS) +
+# foreach() silently merges every line between an unbalanced "[" in a
+# comment and the next "]", which used to hide whole declarations from
+# the check.
+function(check_symbol_coverage headers doc_text doc_name)
+  set(symbols "")
+  foreach(header ${headers})
+    file(READ "${header}" content)
+    string(REPLACE ";" "\\;" content "${content}")
+    string(REPLACE "[" "" content "${content}")
+    string(REPLACE "]" "" content "${content}")
+    string(REPLACE "\n" ";" lines "${content}")
+    foreach(line IN LISTS lines)
+      # Type declarations at namespace scope (methods are indented).
+      if(line MATCHES "^(class|struct|enum[ \t]+class)[ \t]+([A-Za-z_][A-Za-z0-9_]*)")
+        list(APPEND symbols "${CMAKE_MATCH_2}")
+      # Free-function declarations at namespace scope: an unindented line
+      # (attributes like nodiscard keep their word after bracket
+      # stripping) whose first identifier-followed-by-( is the function
+      # name (return type keywords and attributes contain no "name(").
+      elseif(line MATCHES "^[A-Za-z_]" AND line MATCHES "([A-Za-z_][A-Za-z0-9_]*)[ \t]*\\(")
+        list(APPEND symbols "${CMAKE_MATCH_1}")
+      endif()
+    endforeach()
+  endforeach()
+  list(REMOVE_DUPLICATES symbols)
+  # Type aliases read as functions by the heuristic (e.g. "using F =
+  # std::function<...>(...)") still name a public symbol — keep them.
+  list(REMOVE_ITEM symbols using)
+
+  set(missing "")
+  foreach(symbol ${symbols})
+    string(FIND "${doc_text}" "${symbol}" found)
+    if(found EQUAL -1)
+      list(APPEND missing "${symbol}")
+    endif()
+  endforeach()
+  list(LENGTH symbols total)
+  if(missing)
+    list(JOIN missing "\n  " missing_pretty)
+    message(FATAL_ERROR
+            "docs_check: ${doc_name} does not mention these public "
+            "symbols:\n  ${missing_pretty}\n"
+            "Document them in ${doc_name} (the handbook must cover the "
+            "whole public surface).")
+  endif()
+  message(STATUS
+          "docs_check: all ${total} symbols covered by ${doc_name}")
+endfunction()
 if(NOT DEFINED REPO)
   message(FATAL_ERROR "docs_check.cmake: pass -DREPO=<repository root>")
 endif()
@@ -52,41 +110,20 @@ file(READ "${serving_md}" serving_text)
 
 file(GLOB_RECURSE serve_headers "${REPO}/src/serve/*.hpp")
 list(SORT serve_headers)
-set(serve_symbols "")
-foreach(header ${serve_headers})
-  file(STRINGS "${header}" lines)
-  foreach(line ${lines})
-    # Type declarations at namespace scope (methods are indented).
-    if(line MATCHES "^(class|struct|enum[ \t]+class)[ \t]+([A-Za-z_][A-Za-z0-9_]*)")
-      list(APPEND serve_symbols "${CMAKE_MATCH_2}")
-    # Free-function declarations at namespace scope: an unindented line
-    # whose first identifier-followed-by-( is the function name (return
-    # type keywords and attributes contain no "name(").
-    elseif(line MATCHES "^[A-Za-z_[]" AND line MATCHES "([A-Za-z_][A-Za-z0-9_]*)[ \t]*\\(")
-      list(APPEND serve_symbols "${CMAKE_MATCH_1}")
-    endif()
-  endforeach()
-endforeach()
-list(REMOVE_DUPLICATES serve_symbols)
+check_symbol_coverage("${serve_headers}" "${serving_text}" "docs/SERVING.md")
 
-set(serve_missing "")
-foreach(symbol ${serve_symbols})
-  string(FIND "${serving_text}" "${symbol}" found)
-  if(found EQUAL -1)
-    list(APPEND serve_missing "${symbol}")
-  endif()
-endforeach()
-list(LENGTH serve_symbols serve_total)
-if(serve_missing)
-  list(JOIN serve_missing "\n  " serve_missing_pretty)
-  message(FATAL_ERROR
-          "docs_check: docs/SERVING.md does not mention these public "
-          "src/serve/ symbols:\n  ${serve_missing_pretty}\n"
-          "Document them in docs/SERVING.md (the serving handbook must "
-          "cover the whole public surface).")
+# --- online/streaming layer: docs/ONLINE.md covers the sim surface -------
+set(online_md "${REPO}/docs/ONLINE.md")
+if(NOT EXISTS "${online_md}")
+  message(FATAL_ERROR "docs_check: ${online_md} does not exist")
 endif()
-message(STATUS
-        "docs_check: all ${serve_total} serve symbols covered by docs/SERVING.md")
+file(READ "${online_md}" online_text)
+
+set(online_headers
+    "${REPO}/src/sim/online.hpp"
+    "${REPO}/src/sim/stream.hpp"
+    "${REPO}/src/sim/divisible.hpp")
+check_symbol_coverage("${online_headers}" "${online_text}" "docs/ONLINE.md")
 
 # --- architecture + benchmark docs --------------------------------------
 set(architecture_md "${REPO}/docs/ARCHITECTURE.md")
@@ -109,7 +146,7 @@ if(NOT EXISTS "${benchmarks_md}")
 endif()
 file(READ "${benchmarks_md}" benchmarks_text)
 foreach(report BENCH_demt.json BENCH_demt_micro.json BENCH_engine.json
-        BENCH_serve.json)
+        BENCH_serve.json BENCH_online.json)
   string(FIND "${benchmarks_text}" "${report}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR

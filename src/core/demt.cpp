@@ -174,6 +174,7 @@ struct DemtWorkspace::Impl {
   std::vector<double> cand_cm;
   ShuffleWorkspace main_ws;
   std::vector<ShuffleWorkspace> strand_ws;
+  DualTestWorkspace dual;  ///< bisection DP/pick buffers (allocation-free)
 };
 
 DemtWorkspace::DemtWorkspace() : impl_(std::make_unique<Impl>()) {}
@@ -199,7 +200,7 @@ DemtResult demt_schedule(const Instance& instance, const DemtOptions& options,
 
   // 1. Dual-approximation makespan estimate and the geometric grid.
   const CmaxEstimate estimate =
-      estimate_cmax(instance, options.dual_eps, tables);
+      estimate_cmax(instance, options.dual_eps, tables, ws.dual);
   const TimeGrid grid(estimate.estimate, instance.tmin());
 
   DemtDiagnostics diag;

@@ -6,7 +6,8 @@
 namespace moldsched {
 
 CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
-                           const InstanceAllotments& tables) {
+                           const InstanceAllotments& tables,
+                           DualTestWorkspace& ws) {
   if (instance.empty()) {
     throw std::invalid_argument("estimate_cmax: empty instance");
   }
@@ -15,9 +16,15 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
   }
 
   CmaxEstimate out;
-  const auto test = [&](double lambda) {
+  // Two rotating partition buffers: `trial` receives each test, `best`
+  // keeps the last accepted guess. Swapping (never reallocating) keeps the
+  // whole search allocation-free after the first test sizes the buffers.
+  DualTestResult trial;
+  DualTestResult best;
+  const auto test = [&](double lambda) -> DualTestResult& {
     ++out.dual_tests;
-    return dual_test(instance, lambda, tables);
+    dual_test_into(instance, lambda, tables, ws, trial);
+    return trial;
   };
 
   // Combinatorial lower bounds: the machine must absorb the minimal total
@@ -31,10 +38,9 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
 
   // If the dual test already accepts the combinatorial bound, it is also
   // the estimate — no schedule can beat it.
-  DualTestResult at_lb = test(lb);
-  if (at_lb.feasible) {
+  if (test(lb).feasible) {
     out.estimate = lb;
-    out.partition = std::move(at_lb);
+    out.partition = std::move(trial);
     return out;
   }
 
@@ -42,22 +48,20 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
   // always rejected, `hi` always accepted.
   double lo = lb;
   double hi = lb * 2.0;
-  DualTestResult at_hi = test(hi);
-  while (!at_hi.feasible) {
+  while (!test(hi).feasible) {
     lo = hi;
     hi *= 2.0;
-    at_hi = test(hi);
-    if (hi > lb * 1e9) {
+    if (hi > lb * 1e9 * 2.0) {
       throw std::logic_error("estimate_cmax: dual test never accepts");
     }
   }
+  std::swap(best, trial);
 
   while (hi - lo > rel_eps * hi) {
     const double mid = 0.5 * (lo + hi);
-    DualTestResult at_mid = test(mid);
-    if (at_mid.feasible) {
+    if (test(mid).feasible) {
       hi = mid;
-      at_hi = std::move(at_mid);
+      std::swap(best, trial);
     } else {
       lo = mid;
     }
@@ -65,8 +69,14 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
 
   out.estimate = hi;
   out.lower_bound = std::max(lb, lo);
-  out.partition = std::move(at_hi);
+  out.partition = std::move(best);
   return out;
+}
+
+CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
+                           const InstanceAllotments& tables) {
+  DualTestWorkspace ws;
+  return estimate_cmax(instance, rel_eps, tables, ws);
 }
 
 CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {

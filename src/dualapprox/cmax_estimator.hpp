@@ -40,4 +40,15 @@ struct CmaxEstimate {
                                          double rel_eps,
                                          const InstanceAllotments& tables);
 
+/// Same search again with a caller-owned dual-test workspace: after the
+/// first test call the whole bisection performs no heap allocation (the
+/// pick matrix, DP rows and option pools live in `ws`, and the two
+/// candidate partitions rotate through reused buffers). Identical results
+/// and identical search trajectory — dual_tests is the regression anchor.
+/// demt_schedule pools one workspace per strand and calls this form.
+[[nodiscard]] CmaxEstimate estimate_cmax(const Instance& instance,
+                                         double rel_eps,
+                                         const InstanceAllotments& tables,
+                                         DualTestWorkspace& ws);
+
 }  // namespace moldsched

@@ -11,71 +11,67 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Candidate allotment for shelf 1: `procs` processors at `work` area.
-struct Option {
-  int procs;
-  double work;
-};
-
-/// Pareto-minimal shelf-1 options of a task for deadline `lambda`:
-/// increasing processor count with strictly decreasing work. For monotone
-/// tasks this collapses to the single canonical allotment.
-std::vector<Option> shelf1_options(const MoldableTask& task, double lambda) {
-  std::vector<Option> options;
-  for (int k = task.min_procs(); k <= task.max_procs(); ++k) {
-    if (task.time(k) > lambda) continue;
-    const double w = task.work(k);
-    if (!options.empty() && options.back().work <= w) continue;
-    options.push_back(Option{k, w});
-  }
-  return options;
-}
-
-/// Shared implementation; `tables` may be null (scan-based lookups).
-DualTestResult dual_test_impl(const Instance& instance, double lambda,
-                              const InstanceAllotments* tables) {
+/// Shared implementation; `tables` may be null (scan-based lookups). Runs
+/// entirely inside `ws` — the only allocations are capacity growth on the
+/// first call at a given (n, m) and `out.assignment` growth.
+///
+/// Soundness of the rejection certificate: any schedule of length lambda
+/// induces a partition where "long" tasks (running more than lambda/2) all
+/// overlap the midpoint, hence their true allotments sum to <= m, and every
+/// "short" task has a lambda/2-feasible allotment. The DP minimises total
+/// work over a superset of those partitions, so min-work > m*lambda (or no
+/// partition at all) refutes the guess for ANY task structure, monotone or
+/// not.
+void dual_test_impl(const Instance& instance, double lambda,
+                    const InstanceAllotments* tables, DualTestWorkspace& ws,
+                    DualTestResult& out) {
   if (!(lambda > 0.0)) {
     throw std::invalid_argument("dual_test: lambda must be positive");
   }
   const int n = instance.num_tasks();
   const int m = instance.procs();
-  DualTestResult result;
-  result.assignment.assign(static_cast<std::size_t>(n), ShelfAssignment{});
+  out.feasible = false;
+  out.total_work = 0.0;
+  out.assignment.assign(static_cast<std::size_t>(n), ShelfAssignment{});
 
-  // Per-task choices. Soundness of the rejection certificate: any schedule
-  // of length lambda induces a partition where "long" tasks (running more
-  // than lambda/2) all overlap the midpoint, hence their true allotments
-  // sum to <= m, and every "short" task has a lambda/2-feasible allotment.
-  // Our DP minimises total work over a superset of those partitions, so
-  // min-work > m*lambda (or no partition at all) refutes the guess for
-  // ANY task structure, monotone or not.
-  struct TaskChoices {
-    std::vector<Option> shelf1;
-    double shelf2_work = kInf;  // min work within lambda/2, +inf if none
-    int shelf2_procs = 0;
-  };
-  std::vector<TaskChoices> choices(static_cast<std::size_t>(n));
+  // Per-task choices, pooled flat: shelf-1 Pareto options (increasing
+  // processor count with strictly decreasing work; for monotone tasks a
+  // singleton found by binary search) and the min-work lambda/2 allotment.
+  ws.opt_procs.clear();
+  ws.opt_work.clear();
+  ws.opt_begin.assign(static_cast<std::size_t>(n) + 1, 0);
+  ws.shelf2_work.assign(static_cast<std::size_t>(n), kInf);
+  ws.shelf2_procs.assign(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     const MoldableTask& task = instance.task(i);
-    auto& c = choices[static_cast<std::size_t>(i)];
     if (tables != nullptr && tables->table(i).strictly_monotone()) {
       // Monotone fast path: time non-increasing means every allotment from
       // the canonical one up meets lambda, and work non-decreasing means
       // none of them beats the canonical work — the Pareto set is a
-      // singleton, found by binary search.
+      // singleton.
       const int c1 = tables->table(i).canonical(lambda);
-      if (c1 == 0) return result;  // cannot meet lambda: reject
-      c.shelf1.push_back(Option{c1, task.work(c1)});
+      if (c1 == 0) return;  // cannot meet lambda: reject
+      ws.opt_procs.push_back(c1);
+      ws.opt_work.push_back(task.work(c1));
     } else {
-      c.shelf1 = shelf1_options(task, lambda);
-      if (c.shelf1.empty()) return result;  // cannot meet lambda: reject
+      const std::size_t begin = ws.opt_procs.size();
+      for (int k = task.min_procs(); k <= task.max_procs(); ++k) {
+        if (task.time(k) > lambda) continue;
+        const double w = task.work(k);
+        if (ws.opt_procs.size() > begin && ws.opt_work.back() <= w) continue;
+        ws.opt_procs.push_back(k);
+        ws.opt_work.push_back(w);
+      }
+      if (ws.opt_procs.size() == begin) return;  // cannot meet lambda: reject
     }
+    ws.opt_begin[static_cast<std::size_t>(i) + 1] =
+        static_cast<int>(ws.opt_procs.size());
     const int g2 = tables != nullptr
                        ? tables->table(i).min_work(lambda / 2.0)
                        : task.min_work_allotment(lambda / 2.0);
     if (g2 > 0) {
-      c.shelf2_work = task.work(g2);
-      c.shelf2_procs = g2;
+      ws.shelf2_work[static_cast<std::size_t>(i)] = task.work(g2);
+      ws.shelf2_procs[static_cast<std::size_t>(i)] = g2;
     }
   }
 
@@ -84,46 +80,47 @@ DualTestResult dual_test_impl(const Instance& instance, double lambda,
   // reconstruction; kShelf2 means the task stayed in shelf 2.
   constexpr std::int16_t kShelf2 = -1;
   constexpr std::int16_t kUnreachable = -2;
-  std::vector<double> dp(static_cast<std::size_t>(m) + 1, 0.0);
-  std::vector<double> next(static_cast<std::size_t>(m) + 1);
-  std::vector<std::vector<std::int16_t>> pick(
-      static_cast<std::size_t>(n),
-      std::vector<std::int16_t>(static_cast<std::size_t>(m) + 1, kUnreachable));
+  const std::size_t row = static_cast<std::size_t>(m) + 1;
+  ws.dp.assign(row, 0.0);
+  ws.next.resize(row);
+  ws.pick.assign(static_cast<std::size_t>(n) * row, kUnreachable);
 
   for (int i = 0; i < n; ++i) {
-    const auto& c = choices[static_cast<std::size_t>(i)];
+    const auto begin = static_cast<std::size_t>(ws.opt_begin[i]);
+    const auto end = static_cast<std::size_t>(ws.opt_begin[i + 1]);
+    const double shelf2 = ws.shelf2_work[static_cast<std::size_t>(i)];
+    std::int16_t* pick_row = ws.pick.data() + static_cast<std::size_t>(i) * row;
     for (int j = 0; j <= m; ++j) {
       double best = kInf;
       std::int16_t best_pick = kUnreachable;
-      if (dp[static_cast<std::size_t>(j)] < kInf &&
-          c.shelf2_work < kInf) {
-        best = dp[static_cast<std::size_t>(j)] + c.shelf2_work;
+      if (ws.dp[static_cast<std::size_t>(j)] < kInf && shelf2 < kInf) {
+        best = ws.dp[static_cast<std::size_t>(j)] + shelf2;
         best_pick = kShelf2;
       }
-      for (std::size_t o = 0; o < c.shelf1.size(); ++o) {
-        const int cost = c.shelf1[o].procs;
+      for (std::size_t o = begin; o < end; ++o) {
+        const int cost = ws.opt_procs[o];
         if (cost > j) break;  // options sorted by increasing procs
-        const double base = dp[static_cast<std::size_t>(j - cost)];
+        const double base = ws.dp[static_cast<std::size_t>(j - cost)];
         if (base >= kInf) continue;
-        const double candidate = base + c.shelf1[o].work;
+        const double candidate = base + ws.opt_work[o];
         if (candidate < best) {
           best = candidate;
-          best_pick = static_cast<std::int16_t>(o);
+          best_pick = static_cast<std::int16_t>(o - begin);
         }
       }
-      next[static_cast<std::size_t>(j)] = best;
-      pick[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = best_pick;
+      ws.next[static_cast<std::size_t>(j)] = best;
+      pick_row[static_cast<std::size_t>(j)] = best_pick;
     }
-    dp.swap(next);
+    ws.dp.swap(ws.next);
   }
 
-  if (dp[static_cast<std::size_t>(m)] >= kInf) {
-    return result;  // even ignoring work, shelf-1 demand cannot fit: reject
+  if (ws.dp[static_cast<std::size_t>(m)] >= kInf) {
+    return;  // even ignoring work, shelf-1 demand cannot fit: reject
   }
-  result.total_work = dp[static_cast<std::size_t>(m)];
-  result.feasible =
-      result.total_work <= static_cast<double>(m) * lambda * (1.0 + 1e-12);
-  if (!result.feasible) return result;
+  out.total_work = ws.dp[static_cast<std::size_t>(m)];
+  out.feasible =
+      out.total_work <= static_cast<double>(m) * lambda * (1.0 + 1e-12);
+  if (!out.feasible) return;
 
   // Reconstruct the work-minimising partition.
   // Walk budgets backwards: at task i with budget j, the recorded pick
@@ -131,33 +128,45 @@ DualTestResult dual_test_impl(const Instance& instance, double lambda,
   // by the monotone budget walk.
   int j = m;
   for (int i = n - 1; i >= 0; --i) {
-    const auto& c = choices[static_cast<std::size_t>(i)];
-    const std::int16_t p = pick[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    const std::int16_t p =
+        ws.pick[static_cast<std::size_t>(i) * row + static_cast<std::size_t>(j)];
     if (p == kUnreachable) {
       throw std::logic_error("dual_test: broken DP reconstruction");
     }
     if (p == kShelf2) {
-      result.assignment[static_cast<std::size_t>(i)] =
-          ShelfAssignment{Shelf::Small, c.shelf2_procs};
+      out.assignment[static_cast<std::size_t>(i)] = ShelfAssignment{
+          Shelf::Small, ws.shelf2_procs[static_cast<std::size_t>(i)]};
     } else {
-      const Option& option = c.shelf1[static_cast<std::size_t>(p)];
-      result.assignment[static_cast<std::size_t>(i)] =
-          ShelfAssignment{Shelf::Large, option.procs};
-      j -= option.procs;
+      const auto o =
+          static_cast<std::size_t>(ws.opt_begin[i]) + static_cast<std::size_t>(p);
+      out.assignment[static_cast<std::size_t>(i)] =
+          ShelfAssignment{Shelf::Large, ws.opt_procs[o]};
+      j -= ws.opt_procs[o];
     }
   }
-  return result;
 }
 
 }  // namespace
 
 DualTestResult dual_test(const Instance& instance, double lambda) {
-  return dual_test_impl(instance, lambda, nullptr);
+  DualTestWorkspace ws;
+  DualTestResult result;
+  dual_test_impl(instance, lambda, nullptr, ws, result);
+  return result;
 }
 
 DualTestResult dual_test(const Instance& instance, double lambda,
                          const InstanceAllotments& tables) {
-  return dual_test_impl(instance, lambda, &tables);
+  DualTestWorkspace ws;
+  DualTestResult result;
+  dual_test_impl(instance, lambda, &tables, ws, result);
+  return result;
+}
+
+void dual_test_into(const Instance& instance, double lambda,
+                    const InstanceAllotments& tables, DualTestWorkspace& ws,
+                    DualTestResult& out) {
+  dual_test_impl(instance, lambda, &tables, ws, out);
 }
 
 }  // namespace moldsched

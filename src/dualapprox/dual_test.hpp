@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "tasks/allotment_table.hpp"
@@ -42,6 +43,25 @@ struct DualTestResult {
   std::vector<ShelfAssignment> assignment;
 };
 
+/// Reusable buffers for repeated dual_test calls: the DP rows, the flat
+/// (task x budget) pick matrix, and the per-task shelf choice pools all
+/// keep their capacity across calls, so the bisection in estimate_cmax —
+/// which runs dozens of tests per schedule — performs no heap allocation
+/// after its first test at a given problem size. Reuse never changes
+/// results: the workspace carries capacity, not state, between calls.
+struct DualTestWorkspace {
+  /// Shelf-1 Pareto options pooled across tasks: task i's options are
+  /// opt_procs/opt_work[opt_begin[i] .. opt_begin[i+1]).
+  std::vector<int> opt_procs;
+  std::vector<double> opt_work;
+  std::vector<int> opt_begin;
+  std::vector<double> shelf2_work;  ///< per task; +inf when infeasible
+  std::vector<int> shelf2_procs;    ///< per task
+  std::vector<double> dp;           ///< DP row over the processor budget
+  std::vector<double> next;         ///< DP row being built
+  std::vector<std::int16_t> pick;   ///< n x (m+1) option picks, row-major
+};
+
 /// Run the dual test for guess `lambda` (> 0).
 [[nodiscard]] DualTestResult dual_test(const Instance& instance, double lambda);
 
@@ -53,5 +73,13 @@ struct DualTestResult {
 /// once and reuses them across all its calls.
 [[nodiscard]] DualTestResult dual_test(const Instance& instance, double lambda,
                                        const InstanceAllotments& tables);
+
+/// Allocation-free form: identical results to the overloads above, but the
+/// test runs entirely inside `ws` and writes into `out` (whose assignment
+/// buffer reuses its capacity). This is what estimate_cmax's bisection
+/// calls per guess.
+void dual_test_into(const Instance& instance, double lambda,
+                    const InstanceAllotments& tables, DualTestWorkspace& ws,
+                    DualTestResult& out);
 
 }  // namespace moldsched

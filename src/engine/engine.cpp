@@ -166,4 +166,111 @@ void SchedulerEngine::simulate_batch(
   stats_.online_requests += requests.size();
 }
 
+namespace {
+
+/// Per-call off-line plug-in for a stream's batch decisions. Capture-light
+/// (two pointers, valid for the duration of one engine call), so the
+/// std::function stays in its small-object storage — no allocation per
+/// feed.
+[[nodiscard]] FlatOfflineScheduler stream_offline(EngineStreamState& state,
+                                                  EngineWorkspace& ws) {
+  if (state.offline_algorithm == EngineAlgorithm::FlatList) {
+    return [](const Instance& batch, OnlineWorkspace& ows,
+              FlatPlacements& placed) {
+      flat_list_schedule(batch, ows.list, placed);
+    };
+  }
+  EngineStreamState* stream = &state;
+  EngineWorkspace* strand = &ws;
+  return [stream, strand](const Instance& batch, OnlineWorkspace& /*ows*/,
+                          FlatPlacements& placed) {
+    placed.assign_from(
+        demt_schedule(batch, stream->demt, strand->demt).schedule);
+  };
+}
+
+}  // namespace
+
+EngineStreamId SchedulerEngine::open_stream(const StreamConfig& config) {
+  if (workspaces_.empty()) workspaces_.resize(1);
+  EngineWorkspace& ws = workspaces_[0];
+  int index = -1;
+  if (!ws.free_streams.empty()) {
+    index = ws.free_streams.back();
+    ws.free_streams.pop_back();
+  } else {
+    index = static_cast<int>(ws.streams.size());
+    ws.streams.push_back(std::make_unique<EngineStreamState>());
+  }
+  EngineStreamState& state = *ws.streams[static_cast<std::size_t>(index)];
+  static const std::vector<NodeReservation> kNoReservations;
+  try {
+    state.sim.open(config.m, config.reservations != nullptr
+                                 ? *config.reservations
+                                 : kNoReservations);
+  } catch (...) {
+    ws.free_streams.push_back(index);
+    throw;
+  }
+  state.demt = config.demt;
+  state.offline_algorithm = config.offline_algorithm;
+  state.in_use = true;
+  ++state.serial;
+  ++stats_.streams_opened;
+  return EngineStreamId{index, state.serial};
+}
+
+EngineStreamState& SchedulerEngine::stream_state(const EngineStreamId& id) {
+  if (workspaces_.empty() || id.index < 0 ||
+      static_cast<std::size_t>(id.index) >= workspaces_[0].streams.size()) {
+    throw std::invalid_argument("SchedulerEngine: unknown stream");
+  }
+  EngineStreamState& state = *workspaces_[0].streams[
+      static_cast<std::size_t>(id.index)];
+  if (!state.in_use || state.serial != id.serial) {
+    throw std::invalid_argument("SchedulerEngine: unknown stream");
+  }
+  return state;
+}
+
+void SchedulerEngine::feed_stream(const EngineStreamId& id,
+                                  const StreamArrival* arrivals,
+                                  std::size_t count, double watermark,
+                                  StreamDelivery& out) {
+  EngineStreamState& state = stream_state(id);
+  state.sim.feed(arrivals, count, watermark,
+                 stream_offline(state, workspaces_[0]), out);
+  ++stats_.stream_feeds;
+  stats_.stream_arrivals += count;
+}
+
+void SchedulerEngine::close_stream(const EngineStreamId& id,
+                                   StreamDelivery& out) {
+  EngineStreamState& state = stream_state(id);
+  // The session returns to the pool whatever finish() does: close is
+  // terminal, and a broken stream must not leak its slot.
+  EngineWorkspace& ws = workspaces_[0];
+  try {
+    state.sim.finish(stream_offline(state, ws), out);
+  } catch (...) {
+    state.in_use = false;
+    ++state.serial;
+    ws.free_streams.push_back(id.index);
+    throw;
+  }
+  state.in_use = false;
+  ++state.serial;
+  ws.free_streams.push_back(id.index);
+}
+
+bool SchedulerEngine::stream_open(const EngineStreamId& id) const noexcept {
+  if (workspaces_.empty() || id.index < 0 ||
+      static_cast<std::size_t>(id.index) >= workspaces_[0].streams.size()) {
+    return false;
+  }
+  const EngineStreamState& state =
+      *workspaces_[0].streams[static_cast<std::size_t>(id.index)];
+  return state.in_use && state.serial == id.serial;
+}
+
 }  // namespace moldsched

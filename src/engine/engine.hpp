@@ -26,7 +26,9 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/demt.hpp"
@@ -34,6 +36,7 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
 #include "sim/online.hpp"
+#include "sim/stream.hpp"
 #include "tasks/instance.hpp"
 #include "util/thread_pool.hpp"
 
@@ -89,12 +92,46 @@ struct EngineOptions {
   bool keep_schedules = true;
 };
 
+/// Configuration of one streaming session (SchedulerEngine::open_stream):
+/// machine size, optional reservations (copied at open), and the per-batch
+/// off-line algorithm every decision of the stream runs.
+struct StreamConfig {
+  int m = 1;
+  /// Optional node reservations (nullptr = none); copied at open.
+  const std::vector<NodeReservation>* reservations = nullptr;
+  EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
+  DemtOptions demt;  ///< options when offline_algorithm == Demt
+};
+
+/// Handle to an open engine stream: a dense pool index plus a serial that
+/// invalidates the handle when the pooled session is recycled.
+struct EngineStreamId {
+  int index = -1;
+  std::uint64_t serial = 0;
+  [[nodiscard]] bool valid() const noexcept { return index >= 0; }
+};
+
 /// Cumulative counters; read through SchedulerEngine::stats().
 struct EngineStats {
   std::uint64_t requests = 0;         ///< off-line requests served
   std::uint64_t online_requests = 0;  ///< on-line simulations served
   std::uint64_t batches = 0;          ///< batch calls dispatched
+  std::uint64_t streams_opened = 0;   ///< streaming sessions opened
+  std::uint64_t stream_feeds = 0;     ///< feed_stream calls served
+  std::uint64_t stream_arrivals = 0;  ///< arrivals fed across all streams
   int strands_last_batch = 1;         ///< concurrency of the last call
+};
+
+/// One pooled streaming session: the OnlineStream (which owns its
+/// simulator state and scratch) plus the per-stream off-line plug-in
+/// configuration. Sessions live behind unique_ptr so their addresses stay
+/// stable while the pool grows.
+struct EngineStreamState {
+  OnlineStream sim;
+  DemtOptions demt;
+  EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
+  std::uint64_t serial = 0;
+  bool in_use = false;
 };
 
 /// Per-strand reusable state: every buffer a request of either kind needs.
@@ -108,6 +145,14 @@ struct EngineWorkspace {
   /// here so the plug-in lambda captures one pointer (fits std::function's
   /// small-object storage — no per-request allocation).
   DemtOptions online_demt;
+  /// Streaming sessions, pooled: close_stream retires a session into
+  /// `free_streams` with all its capacity, and the next open_stream
+  /// reuses it — a warm open/feed/close cycle allocates nothing. The
+  /// engine keeps one pool, in its first workspace (stream calls follow
+  /// the engine's one-caller-at-a-time contract, so per-strand isolation
+  /// is not needed; the serving layer gives each shard its own engine).
+  std::vector<std::unique_ptr<EngineStreamState>> streams;
+  std::vector<int> free_streams;
 };
 
 /// The FlatList algorithm: give every task its min-work allotment, order by
@@ -151,6 +196,30 @@ class SchedulerEngine {
   void simulate_batch(const std::vector<OnlineRequest>& requests,
                       std::vector<FlatOnlineResult>& results);
 
+  /// Open a streaming session (paper §5 job mix as a live request
+  /// stream): returns a handle for feed_stream/close_stream. Sessions
+  /// live in one pool per engine (inside its first EngineWorkspace) and
+  /// are pinned to this engine. Stream calls follow the engine's thread
+  /// contract — one caller at a time; the serving layer pins each engine
+  /// (shard) to one strand. Throws std::invalid_argument on a bad config
+  /// (m < 1, bad reservation).
+  [[nodiscard]] EngineStreamId open_stream(const StreamConfig& config);
+
+  /// Feed `count` arrivals with the new watermark; decisions that became
+  /// final are written into `out` (cleared first, buffers reused). Same
+  /// validation and error contract as OnlineStream::feed, plus
+  /// std::invalid_argument on an unknown/closed stream id.
+  void feed_stream(const EngineStreamId& id, const StreamArrival* arrivals,
+                   std::size_t count, double watermark, StreamDelivery& out);
+
+  /// Close the stream: final decisions + divisible drain delivered with
+  /// final_delivery == true, then the session returns to the pool and the
+  /// id becomes invalid (even when the close itself throws).
+  void close_stream(const EngineStreamId& id, StreamDelivery& out);
+
+  /// True while `id` names a live (opened, not yet closed) stream.
+  [[nodiscard]] bool stream_open(const EngineStreamId& id) const noexcept;
+
   [[nodiscard]] const EngineOptions& options() const noexcept {
     return options_;
   }
@@ -180,6 +249,10 @@ class SchedulerEngine {
   }
 
   [[nodiscard]] std::size_t strand_count(std::size_t count) const;
+
+  /// Resolve a stream id to its pooled session; throws
+  /// std::invalid_argument when the id is unknown, closed, or recycled.
+  [[nodiscard]] EngineStreamState& stream_state(const EngineStreamId& id);
 
   EngineOptions options_;
   EngineStats stats_;

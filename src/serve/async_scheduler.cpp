@@ -46,8 +46,22 @@ AsyncOptions validated(AsyncOptions options) {
   if (options.queue_capacity <= 0) {
     throw std::invalid_argument("AsyncScheduler: queue_capacity <= 0");
   }
+  if (options.max_streams <= 0) {
+    throw std::invalid_argument("AsyncScheduler: max_streams <= 0");
+  }
   return options;
 }
+
+/// What a slot carries: a one-shot engine request, one stream feed, or a
+/// stream close (the final feed).
+enum class SlotKind { OneShot, StreamFeed, StreamClose };
+
+/// High bit of a stream entry's ticket word while its close is in flight.
+/// Folding the "closing" state into the ticket makes claiming a close one
+/// CAS — verify-ownership-and-claim atomically — so a stale close racing
+/// a close + reopen can never disturb the entry's new owner. Ticket ids
+/// (scheduler serial << 40, plus a counter) never set this bit themselves.
+constexpr std::uint64_t kStreamClosing = 1ULL << 63;
 
 }  // namespace
 
@@ -72,9 +86,40 @@ struct AsyncScheduler::Impl {
     std::atomic<TicketStatus> status{TicketStatus::Invalid};
     std::int64_t submit_ns = 0;
     std::int64_t done_ns = 0;
-    EngineRequest request;
-    EngineResult result;
+    SlotKind kind = SlotKind::OneShot;
+    /// Where the slot was routed; wait() force-flushes it. Atomic because
+    /// a waiter on a recycled ticket may read it while the slot's new
+    /// owner commits (the value read is then irrelevant, but the access
+    /// must not be a data race).
+    std::atomic<std::uint32_t> shard{0};
+    EngineRequest request;    ///< OneShot payload
+    EngineResult result;      ///< OneShot result
+    // Stream payload: the entry, the stream ticket id it was submitted
+    // under, the borrowed arrivals, and the feed's watermark.
+    std::uint32_t stream_index = 0;
+    std::uint64_t stream_ticket = 0;
+    const StreamArrival* arrivals = nullptr;
+    std::size_t arrival_count = 0;
+    double watermark = 0.0;
+    StreamDelivery delivery;  ///< stream result (pooled per slot)
     std::string error;
+  };
+
+  /// One open streaming session. The strand-only fields (engine_stream,
+  /// engine_open) are touched exclusively by the pinned shard's strand;
+  /// `ticket` is the whole cross-thread handshake: 0 = free, the stream's
+  /// ticket id = open, id | kStreamClosing = close in flight. `shard` is
+  /// atomic because a stale reader (ticket already recycled) may race the
+  /// new owner's open_stream write.
+  struct StreamEntry {
+    std::atomic<std::uint64_t> ticket{0};
+    std::atomic<std::uint32_t> shard{0};
+    int m = 1;
+    EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
+    DemtOptions demt;
+    std::vector<NodeReservation> reservations;  ///< copied at open
+    EngineStreamId engine_stream{};
+    bool engine_open = false;
   };
 
   /// One engine shard: coalescing queue + engine (with its pooled
@@ -111,7 +156,13 @@ struct AsyncScheduler::Impl {
   explicit Impl(const AsyncOptions& validated_options)
       : options(validated_options),
         slots(static_cast<std::size_t>(options.queue_capacity)),
-        free_slots(static_cast<std::size_t>(options.queue_capacity)) {
+        free_slots(static_cast<std::size_t>(options.queue_capacity)),
+        streams(static_cast<std::size_t>(options.max_streams)),
+        free_streams(static_cast<std::size_t>(options.max_streams)) {
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(options.max_streams); ++i) {
+      free_streams.try_push(i);  // ring capacity >= max_streams
+    }
     // Per-scheduler ticket-id space (process-wide serial in the high
     // bits): a ticket handed to the wrong AsyncScheduler can never match
     // a slot's ticket id, so it polls Invalid as the header promises.
@@ -153,10 +204,147 @@ struct AsyncScheduler::Impl {
     }
   }
 
-  /// The strand body: pop up to max_batch pending slots, serve them as one
-  /// engine batch, publish results, repeat until the queue is empty.
-  /// Steady state performs no heap allocation (reused assembly buffers,
-  /// metrics-only engine path, in-place result moves).
+  /// Completion tail shared by every execution path: terminal stamps were
+  /// stored by the caller; update the counters and wake waiters.
+  /// Status stores before this / waiters load below form a Dekker pair
+  /// with wait()'s waiters increment / status read: both sides fence with
+  /// seq_cst so at least one side always sees the other's store —
+  /// otherwise a completion could skip notify while the waiter sleeps on
+  /// the stale status, a lost wakeup with no timeout to save it.
+  void publish_done(std::size_t completed, std::size_t failed) {
+    stat_completed.fetch_add(completed, std::memory_order_relaxed);
+    stat_failed.fetch_add(failed, std::memory_order_relaxed);
+    live_count.fetch_sub(static_cast<std::int64_t>(completed + failed),
+                         std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters.load(std::memory_order_relaxed) > 0) {
+      const std::lock_guard lock(wait_mutex);
+      wait_cv.notify_all();
+    }
+  }
+
+  /// Serve batch_slots[first, last) — all OneShot — as one engine batch.
+  void run_one_shot_segment(Shard& shard, std::size_t first,
+                            std::size_t last) {
+    const std::size_t count = last - first;
+    if (shard.batch_requests.size() < count) {
+      shard.batch_requests.resize(count);
+      shard.batch_results.resize(count);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& slot = slots[shard.batch_slots[first + i]];
+      shard.batch_requests[i] = slot.request;
+      slot.status.store(TicketStatus::Running, std::memory_order_relaxed);
+    }
+    bool failed = false;
+    try {
+      shard.engine.schedule_batch_into(shard.batch_requests.data(), count,
+                                       shard.batch_results.data());
+    } catch (const std::exception& e) {
+      failed = true;
+      for (std::size_t i = 0; i < count; ++i) {
+        slots[shard.batch_slots[first + i]].error.assign(e.what());
+      }
+    } catch (...) {
+      failed = true;
+      for (std::size_t i = 0; i < count; ++i) {
+        slots[shard.batch_slots[first + i]].error.assign(
+            "AsyncScheduler: unknown engine error");
+      }
+    }
+    const std::int64_t done = now_ns();
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& slot = slots[shard.batch_slots[first + i]];
+      if (failed) {
+        slot.result.cmax = 0.0;
+        slot.result.weighted_completion_sum = 0.0;
+        slot.result.has_schedule = false;
+        slot.result.diag = DemtDiagnostics{};
+      } else {
+        slot.result = std::move(shard.batch_results[i]);
+        slot.error.clear();
+      }
+      slot.done_ns = done;
+      slot.status.store(failed ? TicketStatus::Failed : TicketStatus::Done,
+                        std::memory_order_release);
+    }
+    stat_batches.fetch_add(1, std::memory_order_relaxed);
+    publish_done(failed ? 0 : count, failed ? count : 0);
+  }
+
+  /// Execute one stream feed/close slot on the stream's pinned shard.
+  void run_stream_slot(Shard& shard, std::uint32_t slot_index) {
+    Slot& slot = slots[slot_index];
+    StreamEntry& entry = streams[slot.stream_index];
+    slot.status.store(TicketStatus::Running, std::memory_order_relaxed);
+    bool failed = false;
+    // A slot that lost its entry (stale ticket racing a close + reopen)
+    // must fail WITHOUT touching the entry — it may belong to a newer
+    // stream now. A feed still owns the entry while the stream's own
+    // close is marked in flight (feeds queued before the close execute
+    // first in FIFO order), hence the mask; the close itself owns the
+    // entry exactly when its claim mark is present.
+    const std::uint64_t word = entry.ticket.load(std::memory_order_acquire);
+    const bool owns_entry =
+        slot.kind == SlotKind::StreamClose
+            ? word == (slot.stream_ticket | kStreamClosing)
+            : (word & ~kStreamClosing) == slot.stream_ticket;
+    try {
+      if (!owns_entry) {
+        throw std::logic_error("AsyncScheduler: stream no longer open");
+      }
+      if (!entry.engine_open) {
+        // Lazy open on the strand: the engine session (and its pooled
+        // workspace) belongs to the shard's engine, so no other thread
+        // ever touches it.
+        StreamConfig config;
+        config.m = entry.m;
+        config.reservations = &entry.reservations;
+        config.offline_algorithm = entry.offline_algorithm;
+        config.demt = entry.demt;
+        entry.engine_stream = shard.engine.open_stream(config);
+        entry.engine_open = true;
+      }
+      if (slot.kind == SlotKind::StreamFeed) {
+        shard.engine.feed_stream(entry.engine_stream, slot.arrivals,
+                                 slot.arrival_count, slot.watermark,
+                                 slot.delivery);
+      } else {
+        shard.engine.close_stream(entry.engine_stream, slot.delivery);
+      }
+      slot.error.clear();
+    } catch (const std::exception& e) {
+      failed = true;
+      slot.error.assign(e.what());
+      slot.delivery.clear();
+    } catch (...) {
+      failed = true;
+      slot.error.assign("AsyncScheduler: unknown stream error");
+      slot.delivery.clear();
+    }
+    if (slot.kind == SlotKind::StreamClose && owns_entry) {
+      // Close is terminal whatever happened inside: free the table entry.
+      entry.engine_open = false;
+      entry.ticket.store(0, std::memory_order_release);
+      open_stream_count.fetch_sub(1, std::memory_order_relaxed);
+      stat_streams_closed.fetch_add(1, std::memory_order_relaxed);
+      while (!free_streams.try_push(slot.stream_index)) {
+        std::this_thread::yield();  // unreachable; table-bounded
+      }
+    }
+    slot.done_ns = now_ns();
+    slot.status.store(failed ? TicketStatus::Failed : TicketStatus::Done,
+                      std::memory_order_release);
+    publish_done(failed ? 0 : 1, failed ? 1 : 0);
+  }
+
+  /// The strand body: pop up to max_batch pending slots, serve maximal
+  /// runs of one-shot requests as engine batches and stream feeds/closes
+  /// one by one in pop (FIFO) order — which is what keeps per-stream
+  /// delivery ordered and the interleaving with batch traffic fair — then
+  /// repeat until the queue is empty. Steady state performs no heap
+  /// allocation (reused assembly buffers, metrics-only engine path,
+  /// in-place result moves, pooled stream sessions and deliveries).
   void drain_shard(Shard& shard) {
     for (;;) {
       shard.batch_slots.clear();
@@ -174,61 +362,20 @@ struct AsyncScheduler::Impl {
         return;
       }
       const std::size_t count = shard.batch_slots.size();
-      if (shard.batch_requests.size() < count) {
-        shard.batch_requests.resize(count);
-        shard.batch_results.resize(count);
-      }
-      for (std::size_t i = 0; i < count; ++i) {
-        Slot& slot = slots[shard.batch_slots[i]];
-        shard.batch_requests[i] = slot.request;
-        slot.status.store(TicketStatus::Running, std::memory_order_relaxed);
-      }
-      bool failed = false;
-      try {
-        shard.engine.schedule_batch_into(shard.batch_requests.data(), count,
-                                         shard.batch_results.data());
-      } catch (const std::exception& e) {
-        failed = true;
-        for (std::size_t i = 0; i < count; ++i) {
-          slots[shard.batch_slots[i]].error.assign(e.what());
-        }
-      } catch (...) {
-        failed = true;
-        for (std::size_t i = 0; i < count; ++i) {
-          slots[shard.batch_slots[i]].error.assign(
-              "AsyncScheduler: unknown engine error");
-        }
-      }
-      const std::int64_t done = now_ns();
-      for (std::size_t i = 0; i < count; ++i) {
-        Slot& slot = slots[shard.batch_slots[i]];
-        if (failed) {
-          slot.result.cmax = 0.0;
-          slot.result.weighted_completion_sum = 0.0;
-          slot.result.has_schedule = false;
-          slot.result.diag = DemtDiagnostics{};
+      std::size_t i = 0;
+      while (i < count) {
+        if (slots[shard.batch_slots[i]].kind == SlotKind::OneShot) {
+          std::size_t j = i + 1;
+          while (j < count &&
+                 slots[shard.batch_slots[j]].kind == SlotKind::OneShot) {
+            ++j;
+          }
+          run_one_shot_segment(shard, i, j);
+          i = j;
         } else {
-          slot.result = std::move(shard.batch_results[i]);
-          slot.error.clear();
+          run_stream_slot(shard, shard.batch_slots[i]);
+          ++i;
         }
-        slot.done_ns = done;
-        slot.status.store(failed ? TicketStatus::Failed : TicketStatus::Done,
-                          std::memory_order_release);
-      }
-      stat_batches.fetch_add(1, std::memory_order_relaxed);
-      (failed ? stat_failed : stat_completed)
-          .fetch_add(count, std::memory_order_relaxed);
-      live_count.fetch_sub(static_cast<std::int64_t>(count),
-                           std::memory_order_release);
-      // Status stores above / waiters load below form a Dekker pair with
-      // wait()'s waiters increment / status read: both sides fence with
-      // seq_cst so at least one side always sees the other's store —
-      // otherwise a completion could skip notify while the waiter sleeps
-      // on the stale status, a lost wakeup with no timeout to save it.
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (waiters.load(std::memory_order_relaxed) > 0) {
-        const std::lock_guard lock(wait_mutex);
-        wait_cv.notify_all();
       }
     }
   }
@@ -261,6 +408,8 @@ struct AsyncScheduler::Impl {
   AsyncOptions options;
   std::vector<Slot> slots;
   MpmcQueue<std::uint32_t> free_slots;
+  std::vector<StreamEntry> streams;
+  MpmcQueue<std::uint32_t> free_streams;
   std::vector<std::unique_ptr<Shard>> shards;
 
   std::atomic<std::uint64_t> next_ticket;  // seeded per scheduler, see ctor
@@ -276,6 +425,11 @@ struct AsyncScheduler::Impl {
   std::atomic<std::uint64_t> stat_size_flushes{0};
   std::atomic<std::uint64_t> stat_deadline_flushes{0};
   std::atomic<std::uint64_t> stat_forced_flushes{0};
+  std::atomic<std::uint64_t> stat_streams_opened{0};
+  std::atomic<std::uint64_t> stat_streams_closed{0};
+  std::atomic<std::uint64_t> stat_stream_feeds{0};
+  std::atomic<std::uint64_t> stat_stream_rejected{0};
+  std::atomic<std::int64_t> open_stream_count{0};
 
   std::atomic<int> waiters{0};
   std::mutex wait_mutex;
@@ -285,7 +439,53 @@ struct AsyncScheduler::Impl {
   std::mutex flusher_mutex;
   std::condition_variable flusher_cv;
   bool flusher_stop = false;
+
+  /// Stamp a prepared slot (payload fields already written), route it to a
+  /// shard's coalescing queue, and apply the flush policy. Shared tail of
+  /// submit/submit_stream/close_stream: one-shots pass `pinned_shard` < 0
+  /// (round-robin by ticket id, the pre-stream routing), stream slots pass
+  /// their stream's pinned shard.
+  Ticket commit_slot(std::uint32_t slot_index, std::int64_t pinned_shard);
 };
+
+Ticket AsyncScheduler::Impl::commit_slot(std::uint32_t slot_index,
+                                         std::int64_t pinned_shard) {
+  Slot& slot = slots[slot_index];
+  const std::uint64_t id = next_ticket.fetch_add(1, std::memory_order_relaxed);
+  const auto shard_index =
+      pinned_shard >= 0
+          ? static_cast<std::uint32_t>(pinned_shard)
+          : static_cast<std::uint32_t>(id % shards.size());
+  slot.shard.store(shard_index, std::memory_order_relaxed);
+  slot.submit_ns = now_ns();
+  slot.done_ns = 0;
+  slot.ticket.store(id, std::memory_order_relaxed);
+  slot.status.store(TicketStatus::Pending, std::memory_order_release);
+  in_use_count.fetch_add(1, std::memory_order_relaxed);
+  live_count.fetch_add(1, std::memory_order_relaxed);
+  stat_submitted.fetch_add(1, std::memory_order_relaxed);
+
+  Shard& shard = *shards[shard_index];
+  std::int64_t no_stamp = 0;
+  shard.first_pending_ns.compare_exchange_strong(no_stamp, slot.submit_ns,
+                                                 std::memory_order_relaxed);
+  while (!shard.pending.try_push(slot_index)) {
+    // Unreachable by construction (ring capacity >= queue_capacity and at
+    // most queue_capacity slots circulate); yield defensively.
+    std::this_thread::yield();
+  }
+  if (shard.pending.approx_size() >=
+      static_cast<std::size_t>(options.max_batch)) {
+    if (activate(shard)) {
+      stat_size_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (options.flush_after_ms <= 0.0) {
+    if (activate(shard)) {
+      stat_deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Ticket{id, slot_index};
+}
 
 AsyncScheduler::AsyncScheduler(AsyncOptions options)
     : impl_(std::make_unique<Impl>(validated(options))) {}
@@ -325,37 +525,122 @@ Ticket AsyncScheduler::submit(const EngineRequest& request) {
     return Ticket{};
   }
   Impl::Slot& slot = im.slots[slot_index];
+  slot.kind = SlotKind::OneShot;
+  slot.request = request;
+  return im.commit_slot(slot_index, -1);
+}
+
+StreamTicket AsyncScheduler::open_stream(const StreamOptions& options) {
+  Impl& im = *impl_;
+  if (options.m < 1) {
+    throw std::invalid_argument("AsyncScheduler: stream m < 1");
+  }
+  if (options.reservations != nullptr) {
+    for (const auto& r : *options.reservations) {
+      if (r.proc < 0 || r.proc >= options.m || !(r.finish > r.start)) {
+        throw std::invalid_argument("AsyncScheduler: bad stream reservation");
+      }
+    }
+  }
+  if (im.stopping.load(std::memory_order_acquire)) {
+    im.stat_stream_rejected.fetch_add(1, std::memory_order_relaxed);
+    return StreamTicket{};
+  }
+  std::uint32_t index = 0;
+  if (!im.free_streams.try_pop(index)) {
+    im.stat_stream_rejected.fetch_add(1, std::memory_order_relaxed);
+    return StreamTicket{};
+  }
+  Impl::StreamEntry& entry = im.streams[index];
   const std::uint64_t id =
       im.next_ticket.fetch_add(1, std::memory_order_relaxed);
-  slot.request = request;
-  slot.submit_ns = now_ns();
-  slot.done_ns = 0;
-  slot.ticket.store(id, std::memory_order_relaxed);
-  slot.status.store(TicketStatus::Pending, std::memory_order_release);
-  im.in_use_count.fetch_add(1, std::memory_order_relaxed);
-  im.live_count.fetch_add(1, std::memory_order_relaxed);
-  im.stat_submitted.fetch_add(1, std::memory_order_relaxed);
+  entry.shard.store(static_cast<std::uint32_t>(id % im.shards.size()),
+                    std::memory_order_relaxed);
+  entry.m = options.m;
+  entry.offline_algorithm = options.offline_algorithm;
+  entry.demt = options.demt;
+  entry.reservations.clear();
+  if (options.reservations != nullptr) {
+    entry.reservations = *options.reservations;
+  }
+  entry.engine_open = false;
+  entry.ticket.store(id, std::memory_order_release);
+  im.open_stream_count.fetch_add(1, std::memory_order_relaxed);
+  im.stat_streams_opened.fetch_add(1, std::memory_order_relaxed);
+  return StreamTicket{id, index};
+}
 
-  Impl::Shard& shard = *im.shards[id % im.shards.size()];
-  std::int64_t no_stamp = 0;
-  shard.first_pending_ns.compare_exchange_strong(no_stamp, slot.submit_ns,
-                                                 std::memory_order_relaxed);
-  while (!shard.pending.try_push(slot_index)) {
-    // Unreachable by construction (ring capacity >= queue_capacity and at
-    // most queue_capacity slots circulate); yield defensively.
-    std::this_thread::yield();
+Ticket AsyncScheduler::submit_stream(const StreamTicket& stream,
+                                     const StreamArrival* arrivals,
+                                     std::size_t count, double watermark) {
+  Impl& im = *impl_;
+  if (count > 0 && arrivals == nullptr) {
+    throw std::invalid_argument("AsyncScheduler: null arrivals");
   }
-  if (shard.pending.approx_size() >=
-      static_cast<std::size_t>(im.options.max_batch)) {
-    if (im.activate(shard)) {
-      im.stat_size_flushes.fetch_add(1, std::memory_order_relaxed);
-    }
-  } else if (im.options.flush_after_ms <= 0.0) {
-    if (im.activate(shard)) {
-      im.stat_deadline_flushes.fetch_add(1, std::memory_order_relaxed);
-    }
+  if (!stream.accepted() || stream.index >= im.streams.size()) {
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
   }
-  return Ticket{id, slot_index};
+  Impl::StreamEntry& entry = im.streams[stream.index];
+  // A closing entry carries id | kStreamClosing, so this one comparison
+  // also refuses feeds behind an in-flight close.
+  if (entry.ticket.load(std::memory_order_acquire) != stream.id ||
+      im.stopping.load(std::memory_order_acquire)) {
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
+  }
+  std::uint32_t slot_index = 0;
+  if (!im.free_slots.try_pop(slot_index)) {
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
+  }
+  Impl::Slot& slot = im.slots[slot_index];
+  slot.kind = SlotKind::StreamFeed;
+  slot.stream_index = stream.index;
+  slot.stream_ticket = stream.id;
+  slot.arrivals = arrivals;
+  slot.arrival_count = count;
+  slot.watermark = watermark;
+  im.stat_stream_feeds.fetch_add(1, std::memory_order_relaxed);
+  return im.commit_slot(
+      slot_index,
+      static_cast<std::int64_t>(entry.shard.load(std::memory_order_relaxed)));
+}
+
+Ticket AsyncScheduler::close_stream(const StreamTicket& stream) {
+  Impl& im = *impl_;
+  if (!stream.accepted() || stream.index >= im.streams.size() ||
+      im.stopping.load(std::memory_order_acquire)) {
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
+  }
+  Impl::StreamEntry& entry = im.streams[stream.index];
+  std::uint32_t slot_index = 0;
+  if (!im.free_slots.try_pop(slot_index)) {
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
+  }
+  // Claim the close: one CAS both verifies we still own the entry and
+  // marks it closing, so a stale close racing a close + reopen can never
+  // touch the entry's new owner (it simply fails this CAS).
+  std::uint64_t expected = stream.id;
+  if (!entry.ticket.compare_exchange_strong(expected,
+                                            stream.id | kStreamClosing,
+                                            std::memory_order_acq_rel)) {
+    while (!im.free_slots.try_push(slot_index)) std::this_thread::yield();
+    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Ticket{};
+  }
+  Impl::Slot& slot = im.slots[slot_index];
+  slot.kind = SlotKind::StreamClose;
+  slot.stream_index = stream.index;
+  slot.stream_ticket = stream.id;
+  slot.arrivals = nullptr;
+  slot.arrival_count = 0;
+  slot.watermark = 0.0;
+  return im.commit_slot(
+      slot_index,
+      static_cast<std::int64_t>(entry.shard.load(std::memory_order_relaxed)));
 }
 
 TicketStatus AsyncScheduler::poll(const Ticket& ticket) const noexcept {
@@ -376,7 +661,11 @@ TicketStatus AsyncScheduler::wait(const Ticket& ticket) {
   if (is_terminal(status)) return status;
   // Force the ticket's shard out of its coalescing wait: a partial batch
   // must not stall a caller who has declared they want the result now.
-  if (im.activate(*im.shards[ticket.id % im.shards.size()])) {
+  // slot.shard is stable from submit until take; if the slot recycled
+  // since the poll above we merely poke a shard needlessly.
+  const std::uint32_t shard =
+      im.slots[ticket.slot].shard.load(std::memory_order_relaxed);
+  if (im.activate(*im.shards[shard])) {
     im.stat_forced_flushes.fetch_add(1, std::memory_order_relaxed);
   }
   im.waiters.fetch_add(1, std::memory_order_relaxed);
@@ -398,6 +687,7 @@ bool AsyncScheduler::take(const Ticket& ticket, EngineResult& out) {
   if (!ticket.accepted() || ticket.slot >= im.slots.size()) return false;
   Impl::Slot& slot = im.slots[ticket.slot];
   if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return false;
+  if (slot.kind != SlotKind::OneShot) return false;  // take_stream instead
   const TicketStatus status = slot.status.load(std::memory_order_acquire);
   if (status != TicketStatus::Done && status != TicketStatus::Failed) {
     return false;
@@ -410,6 +700,34 @@ bool AsyncScheduler::take(const Ticket& ticket, EngineResult& out) {
     std::this_thread::yield();  // unreachable; see submit()
   }
   return true;
+}
+
+bool AsyncScheduler::take_stream(const Ticket& ticket, StreamDelivery& out) {
+  Impl& im = *impl_;
+  if (!ticket.accepted() || ticket.slot >= im.slots.size()) return false;
+  Impl::Slot& slot = im.slots[ticket.slot];
+  if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return false;
+  if (slot.kind == SlotKind::OneShot) return false;  // take() instead
+  const TicketStatus status = slot.status.load(std::memory_order_acquire);
+  if (status != TicketStatus::Done && status != TicketStatus::Failed) {
+    return false;
+  }
+  // Swap, not move: the caller's buffers park in the slot, so a recycled
+  // StreamDelivery keeps the take loop allocation-free.
+  std::swap(out, slot.delivery);
+  slot.ticket.store(0, std::memory_order_relaxed);
+  slot.status.store(TicketStatus::Invalid, std::memory_order_release);
+  im.in_use_count.fetch_sub(1, std::memory_order_relaxed);
+  while (!im.free_slots.try_push(ticket.slot)) {
+    std::this_thread::yield();  // unreachable; see submit()
+  }
+  return true;
+}
+
+std::size_t AsyncScheduler::open_streams() const noexcept {
+  const std::int64_t open =
+      impl_->open_stream_count.load(std::memory_order_relaxed);
+  return open > 0 ? static_cast<std::size_t>(open) : 0;
 }
 
 std::string AsyncScheduler::error(const Ticket& ticket) const {
@@ -478,6 +796,13 @@ AsyncStats AsyncScheduler::stats() const {
       im.stat_deadline_flushes.load(std::memory_order_relaxed);
   stats.forced_flushes =
       im.stat_forced_flushes.load(std::memory_order_relaxed);
+  stats.streams_opened =
+      im.stat_streams_opened.load(std::memory_order_relaxed);
+  stats.streams_closed =
+      im.stat_streams_closed.load(std::memory_order_relaxed);
+  stats.stream_feeds = im.stat_stream_feeds.load(std::memory_order_relaxed);
+  stats.stream_rejected =
+      im.stat_stream_rejected.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -25,13 +25,27 @@
 /// metrics-only FlatList path (slot table, MPMC rings, and strand posting
 /// are all pre-allocated; measured by bench/serve_throughput.cpp).
 ///
+/// Streams (paper §5 job mix served live): open_stream pins a streaming
+/// session to one shard; submit_stream enqueues a feed (arrivals +
+/// watermark) as an ordinary admission-controlled request whose Ticket
+/// delivers the feed's batch decisions through take_stream; close_stream
+/// enqueues the final feed. Feeds of one stream execute in submission
+/// order on the pinned shard's strand — FIFO through the same coalescing
+/// queue as one-shot requests, interleaved fairly in arrival order — so
+/// per-stream delivery is ordered and results are bit-identical to the
+/// off-line simulator on the completed arrival list for any shard count
+/// and flush timing (gated by bench/online_stream.cpp).
+///
 /// Threading: submit/poll/wait/take/flush are safe from any number of
 /// threads. Each Ticket has one consumer: two threads must not wait on or
-/// take the same Ticket. Never call wait/drain from a shared-pool worker
+/// take the same Ticket. One stream has one producer: concurrent
+/// submit_stream calls to the same stream are delivered in admission
+/// order, which only means something if the producers ordered their
+/// watermarks themselves. Never call wait/drain from a shared-pool worker
 /// thread (the strand you would wait on may be queued behind you).
 ///
 /// Full operator documentation (lifecycle diagram, tuning, failure
-/// semantics): docs/SERVING.md.
+/// semantics): docs/SERVING.md; the streaming/job-mix story: docs/ONLINE.md.
 
 #pragma once
 
@@ -81,11 +95,15 @@ struct AsyncOptions {
   /// (lowest latency, smallest batches).
   double flush_after_ms = 1.0;
   /// Admission bound: maximum requests in flight (accepted but not yet
-  /// take()n). Beyond it, submit returns a rejected Ticket.
+  /// take()n). Stream feeds and closes occupy the same slot table as
+  /// one-shot requests. Beyond it, submit returns a rejected Ticket.
   int queue_capacity = 1024;
   /// Materialise a Schedule per result (metrics-only serving when false —
   /// the allocation-free path).
   bool keep_schedules = false;
+  /// Maximum concurrently open streams; open_stream returns a rejected
+  /// StreamTicket beyond it.
+  int max_streams = 64;
 };
 
 /// Cumulative counters; read through AsyncScheduler::stats().
@@ -101,6 +119,27 @@ struct AsyncStats {
   /// when flush_after_ms <= 0.
   std::uint64_t deadline_flushes = 0;
   std::uint64_t forced_flushes = 0;    ///< dispatches via flush()/wait()/drain()
+  std::uint64_t streams_opened = 0;    ///< accepted open_stream calls
+  std::uint64_t streams_closed = 0;    ///< executed close_stream requests
+  std::uint64_t stream_feeds = 0;      ///< accepted submit_stream calls
+  std::uint64_t stream_rejected = 0;   ///< open_stream refusals (table full)
+};
+
+/// Per-stream configuration for open_stream. The reservations vector is
+/// copied at open; everything else is plain data.
+struct StreamOptions {
+  int m = 1;                  ///< machine size the stream schedules onto
+  const std::vector<NodeReservation>* reservations = nullptr;
+  EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
+  DemtOptions demt;           ///< options when offline_algorithm == Demt
+};
+
+/// Handle to one open stream. Value type, freely copyable; id 0 means
+/// open_stream refused (stream table full or scheduler stopping).
+struct StreamTicket {
+  std::uint64_t id = 0;     ///< unique per accepted stream; 0 = rejected
+  std::uint32_t index = 0;  ///< entry inside the scheduler's stream table
+  [[nodiscard]] bool accepted() const noexcept { return id != 0; }
 };
 
 class AsyncScheduler {
@@ -129,9 +168,45 @@ class AsyncScheduler {
   TicketStatus wait(const Ticket& ticket);
 
   /// Move the result out and free the slot for admission. True only when
-  /// the ticket was Done (or Failed: `out` is then default metrics). After
-  /// take, the ticket polls as Invalid.
+  /// the ticket was Done (or Failed: `out` is then default metrics) and
+  /// names a one-shot request (stream tickets go through take_stream).
+  /// After take, the ticket polls as Invalid.
   bool take(const Ticket& ticket, EngineResult& out);
+
+  /// Open a streaming session (paper §5 job mix), pinned to one shard for
+  /// its whole life. Non-blocking: returns a rejected StreamTicket when
+  /// max_streams sessions are open or the scheduler is stopping. Throws
+  /// std::invalid_argument on a bad configuration (m < 1, bad
+  /// reservation).
+  [[nodiscard]] StreamTicket open_stream(const StreamOptions& options);
+
+  /// Enqueue a feed: `count` arrivals plus the stream's new watermark
+  /// (same per-stream ordering/validation contract as OnlineStream::feed;
+  /// a violating feed completes as Failed and leaves the stream usable).
+  /// The arrivals array is borrowed until the returned Ticket is terminal.
+  /// Returns a rejected Ticket when the slot table is full, the stream is
+  /// unknown or closing, or the scheduler is stopping. Throws
+  /// std::invalid_argument on null arrivals with count > 0.
+  [[nodiscard]] Ticket submit_stream(const StreamTicket& stream,
+                                     const StreamArrival* arrivals,
+                                     std::size_t count, double watermark);
+
+  /// Enqueue the final feed: remaining decisions plus the divisible drain
+  /// deliver through the returned Ticket with final_delivery == true, and
+  /// the stream's table entry frees once the close executes. Returns a
+  /// rejected Ticket when the stream is unknown, already closing, or no
+  /// slot is free.
+  [[nodiscard]] Ticket close_stream(const StreamTicket& stream);
+
+  /// take() for stream tickets: swap the feed's delivery into `out`
+  /// (buffer capacity circulates, so a recycled `out` keeps the loop
+  /// allocation-free) and free the slot. True only when the ticket was a
+  /// Done/Failed stream feed or close; on Failed, `out` is empty and
+  /// error(ticket) explained before the take.
+  bool take_stream(const Ticket& ticket, StreamDelivery& out);
+
+  /// Streams currently open (accepted, close not yet executed).
+  [[nodiscard]] std::size_t open_streams() const noexcept;
 
   /// Error message of a Failed ticket ("" otherwise). Valid until take().
   [[nodiscard]] std::string error(const Ticket& ticket) const;

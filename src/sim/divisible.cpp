@@ -8,51 +8,154 @@ namespace moldsched {
 
 namespace {
 
-struct IdleInterval {
-  int proc;
-  double start, finish;
-
-  [[nodiscard]] double length() const noexcept { return finish - start; }
-};
-
 /// Complement of the busy intervals on every processor, clipped to
-/// [0, horizon), sorted by start time (earliest capacity first).
-std::vector<IdleInterval> idle_intervals(const Schedule& schedule,
-                                         double horizon) {
-  const int m = schedule.procs();
-  std::vector<std::vector<std::pair<double, double>>> busy(
-      static_cast<std::size_t>(m));
-  for (int i = 0; i < schedule.num_tasks(); ++i) {
-    if (!schedule.assigned(i)) continue;
-    const Placement& p = schedule.placement(i);
-    for (int proc : p.procs) {
-      busy[static_cast<std::size_t>(proc)].emplace_back(p.start, p.finish());
+/// [0, horizon), sorted by start time (earliest capacity first). Runs
+/// inside `ws` (busy + idle buffers reused).
+void idle_intervals_into(const FlatPlacements& placements, int m,
+                         double horizon, DivisibleFillWorkspace& ws) {
+  ws.busy.clear();
+  for (int e = 0; e < placements.size(); ++e) {
+    if (!placements.assigned(e)) continue;
+    const auto entry = static_cast<std::size_t>(e);
+    const double start = placements.start[entry];
+    const double finish = start + placements.duration[entry];
+    const auto begin = static_cast<std::size_t>(placements.proc_begin[entry]);
+    const auto count = static_cast<std::size_t>(placements.proc_count[entry]);
+    for (std::size_t p = begin; p < begin + count; ++p) {
+      ws.busy.push_back(DivisibleFillWorkspace::Busy{
+          placements.proc_ids[p], start, finish});
     }
   }
-  std::vector<IdleInterval> idle;
+  // (proc, start, finish) lexicographic == the object path's per-processor
+  // (start, finish) sorts, so the two cores stay bit-identical.
+  std::sort(ws.busy.begin(), ws.busy.end(),
+            [](const DivisibleFillWorkspace::Busy& a,
+               const DivisibleFillWorkspace::Busy& b) {
+              if (a.proc != b.proc) return a.proc < b.proc;
+              if (a.start != b.start) return a.start < b.start;
+              return a.finish < b.finish;
+            });
+  ws.idle.clear();
+  std::size_t next = 0;
   for (int proc = 0; proc < m; ++proc) {
-    auto& intervals = busy[static_cast<std::size_t>(proc)];
-    std::sort(intervals.begin(), intervals.end());
     double cursor = 0.0;
-    for (const auto& [start, finish] : intervals) {
+    while (next < ws.busy.size() && ws.busy[next].proc == proc) {
+      const double start = ws.busy[next].start;
+      const double finish = ws.busy[next].finish;
       if (start > cursor + 1e-12 && cursor < horizon) {
-        idle.push_back(IdleInterval{proc, cursor, std::min(start, horizon)});
+        ws.idle.push_back(DivisibleFillWorkspace::Hole{
+            proc, cursor, std::min(start, horizon)});
       }
       cursor = std::max(cursor, finish);
+      ++next;
     }
     if (cursor < horizon) {
-      idle.push_back(IdleInterval{proc, cursor, horizon});
+      ws.idle.push_back(DivisibleFillWorkspace::Hole{proc, cursor, horizon});
     }
   }
-  std::sort(idle.begin(), idle.end(),
-            [](const IdleInterval& a, const IdleInterval& b) {
+  std::sort(ws.idle.begin(), ws.idle.end(),
+            [](const DivisibleFillWorkspace::Hole& a,
+               const DivisibleFillWorkspace::Hole& b) {
               if (a.start != b.start) return a.start < b.start;
               return a.proc < b.proc;
             });
-  return idle;
 }
 
 }  // namespace
+
+void fill_idle_with_divisible_into(const FlatPlacements& placements, int m,
+                                   const DivisibleJob* jobs,
+                                   std::size_t count, double horizon,
+                                   DivisibleFillWorkspace& ws,
+                                   DivisibleFillResult& out) {
+  out.chunks.clear();
+  out.completion.assign(count, 0.0);
+  out.placed_work.assign(count, 0.0);
+  out.weighted_completion_sum = 0.0;
+  out.all_placed = true;
+  out.idle_capacity = 0.0;
+
+  idle_intervals_into(placements, m, horizon, ws);
+  for (const auto& hole : ws.idle) out.idle_capacity += hole.length();
+
+  // Smith order over the divisible jobs: weight per unit of work,
+  // decreasing. Earliest holes go to the most valuable work.
+  ws.order.resize(count);
+  std::iota(ws.order.begin(), ws.order.end(), std::size_t{0});
+  std::sort(ws.order.begin(), ws.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double ra = jobs[a].weight / jobs[a].work;
+              const double rb = jobs[b].weight / jobs[b].work;
+              if (ra != rb) return ra > rb;
+              return a < b;
+            });
+
+  for (std::size_t job_index : ws.order) {
+    const double work = jobs[job_index].work;
+
+    // Water-filling: the job finishes earliest at the time T* where the
+    // cumulative idle capacity before T* first reaches `work`. Capacity is
+    // a piecewise-linear increasing function of T whose slope is the number
+    // of holes open at T; sweep its breakpoints.
+    ws.events.clear();
+    for (const auto& hole : ws.idle) {
+      if (hole.length() <= 1e-12) continue;
+      ws.events.push_back(DivisibleFillWorkspace::Event{hole.start, +1});
+      ws.events.push_back(DivisibleFillWorkspace::Event{hole.finish, -1});
+    }
+    std::sort(ws.events.begin(), ws.events.end(),
+              [](const DivisibleFillWorkspace::Event& a,
+                 const DivisibleFillWorkspace::Event& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.delta < b.delta;  // close before open at equal time
+              });
+    double t_star = -1.0;
+    {
+      double cap = 0.0, t = 0.0;
+      int open = 0;
+      for (const auto& event : ws.events) {
+        if (open > 0 && cap + open * (event.time - t) >= work - 1e-12) {
+          t_star = t + (work - cap) / open;
+          break;
+        }
+        cap += open * (event.time - t);
+        t = event.time;
+        open += event.delta;
+      }
+    }
+
+    if (t_star < 0.0) {
+      // Not enough capacity in the horizon: consume everything and report
+      // the shortfall.
+      out.all_placed = false;
+      double placed = 0.0;
+      for (auto& hole : ws.idle) {
+        if (hole.length() <= 1e-12) continue;
+        out.chunks.push_back(DivisibleChunk{static_cast<int>(job_index),
+                                            hole.proc, hole.start,
+                                            hole.length()});
+        placed += hole.length();
+        hole.start = hole.finish;
+      }
+      out.placed_work[job_index] = placed;
+      continue;
+    }
+
+    // Carve every hole up to T*; partially used holes keep their tails for
+    // the next (less valuable) job.
+    for (auto& hole : ws.idle) {
+      if (hole.start >= t_star || hole.length() <= 1e-12) continue;
+      const double take = std::min(hole.finish, t_star) - hole.start;
+      if (take <= 1e-12) continue;
+      out.chunks.push_back(DivisibleChunk{static_cast<int>(job_index),
+                                          hole.proc, hole.start, take});
+      hole.start += take;
+    }
+    out.placed_work[job_index] = work;
+    out.completion[job_index] = t_star;
+    out.weighted_completion_sum += jobs[job_index].weight * t_star;
+  }
+}
 
 DivisibleFillResult fill_idle_with_divisible(
     const Schedule& schedule, const std::vector<DivisibleJob>& jobs,
@@ -71,92 +174,12 @@ DivisibleFillResult fill_idle_with_divisible(
     }
   }
 
+  DivisibleFillWorkspace ws;
   DivisibleFillResult result;
-  result.completion.assign(jobs.size(), 0.0);
-  result.placed_work.assign(jobs.size(), 0.0);
-
-  auto idle = idle_intervals(schedule, horizon);
-  for (const auto& interval : idle) result.idle_capacity += interval.length();
-
-  // Smith order over the divisible jobs: weight per unit of work,
-  // decreasing. Earliest holes go to the most valuable work.
-  std::vector<std::size_t> order(jobs.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double ra = jobs[a].weight / jobs[a].work;
-    const double rb = jobs[b].weight / jobs[b].work;
-    if (ra != rb) return ra > rb;
-    return a < b;
-  });
-
-  for (std::size_t job_index : order) {
-    const double work = jobs[job_index].work;
-
-    // Water-filling: the job finishes earliest at the time T* where the
-    // cumulative idle capacity before T* first reaches `work`. Capacity is
-    // a piecewise-linear increasing function of T whose slope is the number
-    // of holes open at T; sweep its breakpoints.
-    struct Event {
-      double time;
-      int delta;  // +1 hole opens, -1 hole closes
-    };
-    std::vector<Event> events;
-    for (const auto& hole : idle) {
-      if (hole.length() <= 1e-12) continue;
-      events.push_back(Event{hole.start, +1});
-      events.push_back(Event{hole.finish, -1});
-    }
-    std::sort(events.begin(), events.end(),
-              [](const Event& a, const Event& b) {
-                if (a.time != b.time) return a.time < b.time;
-                return a.delta < b.delta;  // close before open at equal time
-              });
-    double t_star = -1.0;
-    {
-      double cap = 0.0, t = 0.0;
-      int open = 0;
-      for (const auto& event : events) {
-        if (open > 0 && cap + open * (event.time - t) >= work - 1e-12) {
-          t_star = t + (work - cap) / open;
-          break;
-        }
-        cap += open * (event.time - t);
-        t = event.time;
-        open += event.delta;
-      }
-    }
-
-    if (t_star < 0.0) {
-      // Not enough capacity in the horizon: consume everything and report
-      // the shortfall.
-      result.all_placed = false;
-      double placed = 0.0;
-      for (auto& hole : idle) {
-        if (hole.length() <= 1e-12) continue;
-        result.chunks.push_back(DivisibleChunk{static_cast<int>(job_index),
-                                               hole.proc, hole.start,
-                                               hole.length()});
-        placed += hole.length();
-        hole.start = hole.finish;
-      }
-      result.placed_work[job_index] = placed;
-      continue;
-    }
-
-    // Carve every hole up to T*; partially used holes keep their tails for
-    // the next (less valuable) job.
-    for (auto& hole : idle) {
-      if (hole.start >= t_star || hole.length() <= 1e-12) continue;
-      const double take = std::min(hole.finish, t_star) - hole.start;
-      if (take <= 1e-12) continue;
-      result.chunks.push_back(DivisibleChunk{static_cast<int>(job_index),
-                                             hole.proc, hole.start, take});
-      hole.start += take;
-    }
-    result.placed_work[job_index] = work;
-    result.completion[job_index] = t_star;
-    result.weighted_completion_sum += jobs[job_index].weight * t_star;
-  }
+  FlatPlacements flat;
+  flat.assign_from(schedule);
+  fill_idle_with_divisible_into(flat, schedule.procs(), jobs.data(),
+                                jobs.size(), horizon, ws, result);
   return result;
 }
 

@@ -8,11 +8,20 @@
 /// collected up to a horizon and filled earliest-first, job by job in
 /// Smith order (weight / work decreasing), which minimises the weighted
 /// completion sum among sequential-greedy fills.
+///
+/// Two entry points share one core, mirroring the online simulator:
+/// the Schedule-based `fill_idle_with_divisible` (validates, allocates)
+/// wraps the flat `fill_idle_with_divisible_into`, which runs entirely
+/// inside a caller-owned DivisibleFillWorkspace on a FlatPlacements view —
+/// the form the streaming §5 job-mix path (sim/stream.hpp) calls once per
+/// batch decision, allocation-free after warm-up.
 
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "sched/flat_schedule.hpp"
 #include "sched/schedule.hpp"
 
 namespace moldsched {
@@ -41,6 +50,35 @@ struct DivisibleFillResult {
   double idle_capacity = 0.0;          ///< total idle area in [0, horizon)
 };
 
+/// Reusable buffers for repeated flat fills. One workspace per
+/// thread/stream; every buffer is cleared (capacity kept) per call, so
+/// after warm-up a fill performs no heap allocation. Carries capacity
+/// only, never state, between calls.
+struct DivisibleFillWorkspace {
+  /// One busy stretch of a placed task on one processor.
+  struct Busy {
+    int proc = 0;
+    double start = 0.0;
+    double finish = 0.0;
+  };
+  /// One idle hole; shrinks from the front as jobs consume it.
+  struct Hole {
+    int proc = 0;
+    double start = 0.0;
+    double finish = 0.0;
+    [[nodiscard]] double length() const noexcept { return finish - start; }
+  };
+  /// Capacity breakpoint of the water-filling sweep.
+  struct Event {
+    double time = 0.0;
+    int delta = 0;  ///< +1 hole opens, -1 hole closes
+  };
+  std::vector<Busy> busy;
+  std::vector<Hole> idle;
+  std::vector<Event> events;
+  std::vector<std::size_t> order;  ///< jobs in Smith order
+};
+
 /// Fill the idle holes of `schedule` (must be complete on its own tasks)
 /// with the divisible jobs, never pushing past `horizon`. Holes are the
 /// complement of the schedule's busy intervals on each of its processors,
@@ -49,5 +87,16 @@ struct DivisibleFillResult {
 [[nodiscard]] DivisibleFillResult fill_idle_with_divisible(
     const Schedule& schedule, const std::vector<DivisibleJob>& jobs,
     double horizon);
+
+/// Flat core with identical results: holes are the complement of the busy
+/// intervals of `placements` (assigned entries only) on each of the `m`
+/// processors, clipped to [0, horizon). Runs inside `ws` and re-fills
+/// `out` (buffers keep capacity). Skips input validation — callers own
+/// the invariants (non-negative horizon, positive work and weight).
+void fill_idle_with_divisible_into(const FlatPlacements& placements, int m,
+                                   const DivisibleJob* jobs,
+                                   std::size_t count, double horizon,
+                                   DivisibleFillWorkspace& ws,
+                                   DivisibleFillResult& out);
 
 }  // namespace moldsched

@@ -30,24 +30,9 @@ void check_inputs(int m, const std::vector<OnlineJob>& jobs,
   }
 }
 
-/// Processors whose reservations intersect [start, finish), written into a
-/// reusable flag buffer.
-void blocked_procs_into(int m,
-                        const std::vector<NodeReservation>& reservations,
-                        double start, double finish,
-                        std::vector<std::uint8_t>& blocked) {
-  blocked.assign(static_cast<std::size_t>(m), 0);
-  for (const auto& r : reservations) {
-    if (r.start < finish && r.finish > start) {
-      blocked[static_cast<std::size_t>(r.proc)] = 1;
-    }
-  }
-}
-
-/// Build the reduced-machine batch instance for the jobs of the open batch.
-/// The time vectors are truncated to the reduced width, which is the one
-/// unavoidable per-batch allocation of the flat path (the off-line plug-in
-/// needs real MoldableTasks).
+/// Build the reduced-machine batch instance for the jobs of the open batch
+/// (time vectors truncated to the reduced width). Reference path only: the
+/// flat path re-fills the pooled ws.batch_instance instead.
 Instance build_batch_instance(const std::vector<OnlineJob>& jobs,
                               const std::vector<int>& batch_jobs, int avail) {
   Instance batch_instance(avail);
@@ -65,6 +50,23 @@ Instance build_batch_instance(const std::vector<OnlineJob>& jobs,
         MoldableTask(std::move(times), task.weight(), task.min_procs()));
   }
   return batch_instance;
+}
+
+/// Pooled twin of build_batch_instance: identical values, zero heap
+/// allocation once the instance's shell pool is warm.
+void rebuild_batch_instance(const OnlineJob* jobs,
+                            const std::vector<int>& batch_jobs, int avail,
+                            Instance& batch_instance) {
+  batch_instance.reset(avail);
+  for (int job_id : batch_jobs) {
+    const MoldableTask& task = jobs[static_cast<std::size_t>(job_id)].task;
+    if (task.min_procs() > avail) {
+      throw std::invalid_argument(
+          "online_batch_schedule: job cannot fit on available "
+          "processors");
+    }
+    batch_instance.add_task_truncated(task, avail);
+  }
 }
 
 /// Original (pre-refactor) helper of the reference path.
@@ -93,12 +95,111 @@ void FlatOnlineResult::reset(int num_jobs) {
   batch_starts.clear();
 }
 
+void online_blocked_procs_into(
+    int m, const std::vector<NodeReservation>& reservations, double start,
+    double finish, std::vector<std::uint8_t>& blocked) {
+  blocked.assign(static_cast<std::size_t>(m), 0);
+  for (const auto& r : reservations) {
+    if (r.start < finish && r.finish > start) {
+      blocked[static_cast<std::size_t>(r.proc)] = 1;
+    }
+  }
+}
+
 FlatOfflineScheduler wrap_offline(OfflineScheduler offline) {
   return [offline = std::move(offline)](const Instance& batch,
                                         OnlineWorkspace& /*ws*/,
                                         FlatPlacements& out) {
     out.assign_from(offline(batch));
   };
+}
+
+void online_decide_batch(int m, const OnlineJob* jobs,
+                         const std::vector<NodeReservation>& reservations,
+                         const FlatOfflineScheduler& offline,
+                         OnlineWorkspace& ws, double& now,
+                         FlatOnlineResult& out) {
+  double& clock = now;
+  // Determine the available processors against reservations: start from
+  // "everything free", schedule, check which reservations the batch
+  // overlaps, remove those processors and retry until stable.
+  ws.blocked.assign(static_cast<std::size_t>(m), 0);
+  // Iteration budget: between time jumps the blocked set only grows
+  // (<= m + 1 iterations per epoch), and every jump advances the clock
+  // past a distinct reservation end (<= reservations.size() jumps), so the
+  // bound is unreachable — exhausting it means the lift below would use
+  // a stale batch schedule, so it is an error, never a fallthrough.
+  const int max_iterations =
+      (static_cast<int>(reservations.size()) + 1) * (m + 2);
+  bool settled = false;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    ws.free_procs.clear();
+    for (int p = 0; p < m; ++p) {
+      if (!ws.blocked[static_cast<std::size_t>(p)]) {
+        ws.free_procs.push_back(p);
+      }
+    }
+    const int avail = static_cast<int>(ws.free_procs.size());
+    if (avail == 0) {
+      // Fully reserved at this instant: jump past the earliest blocking
+      // reservation end and rebuild the batch window.
+      double jump = std::numeric_limits<double>::infinity();
+      for (const auto& r : reservations) {
+        if (r.finish > clock) jump = std::min(jump, r.finish);
+      }
+      if (!std::isfinite(jump)) {
+        throw std::logic_error(
+            "online_batch_schedule: machine permanently fully reserved");
+      }
+      clock = jump;
+      online_blocked_procs_into(m, reservations, clock, clock, ws.blocked);
+      continue;
+    }
+    rebuild_batch_instance(jobs, ws.batch_jobs, avail, ws.batch_instance);
+    offline(ws.batch_instance, ws, ws.batch);
+    const double horizon = clock + ws.batch.cmax();
+    online_blocked_procs_into(m, reservations, clock, horizon,
+                              ws.new_blocked);
+    if (ws.new_blocked == ws.blocked) {  // fixpoint: no new conflicts
+      settled = true;
+      break;
+    }
+    for (std::size_t p = 0; p < ws.new_blocked.size(); ++p) {
+      if (ws.new_blocked[p]) ws.blocked[p] = 1;  // monotone => converges
+    }
+  }
+  if (!settled) {
+    throw std::logic_error(
+        "online_batch_schedule: reservation fixpoint failed to converge");
+  }
+
+  // Lift the batch placements into global time / global processor ids.
+  for (std::size_t b = 0; b < ws.batch_jobs.size(); ++b) {
+    const int job_id = ws.batch_jobs[b];
+    const auto job = static_cast<std::size_t>(job_id);
+    out.schedule.start[job] = clock + ws.batch.start[b];
+    out.schedule.duration[job] = ws.batch.duration[b];
+    out.schedule.proc_begin[job] =
+        static_cast<int>(out.schedule.proc_ids.size());
+    out.schedule.proc_count[job] = ws.batch.proc_count[b];
+    const auto begin = static_cast<std::size_t>(ws.batch.proc_begin[b]);
+    const auto count = static_cast<std::size_t>(ws.batch.proc_count[b]);
+    for (std::size_t p = begin; p < begin + count; ++p) {
+      out.schedule.proc_ids.push_back(
+          ws.free_procs[static_cast<std::size_t>(ws.batch.proc_ids[p])]);
+    }
+    const double completion =
+        clock + (ws.batch.start[b] + ws.batch.duration[b]);
+    out.completion[job] = completion;
+    out.flow[job] = completion - jobs[job].release;
+    out.cmax = std::max(out.cmax, completion);
+    const double w = jobs[job].task.weight();
+    out.weighted_completion_sum += w * completion;
+    out.weighted_flow_sum += w * out.flow[job];
+  }
+  out.batch_starts.push_back(clock);
+  ++out.num_batches;
+  clock += ws.batch.cmax();
 }
 
 void online_batch_schedule_into(
@@ -109,12 +210,16 @@ void online_batch_schedule_into(
   check_inputs(m, jobs, reservations);
   const int n = static_cast<int>(jobs.size());
 
-  // Jobs in release order.
+  // Jobs in release order; arrival index breaks ties so simultaneous
+  // releases keep a well-defined batch order (the same order a stream
+  // feeding them one by one produces).
   ws.order.resize(static_cast<std::size_t>(n));
   std::iota(ws.order.begin(), ws.order.end(), 0);
   std::sort(ws.order.begin(), ws.order.end(), [&](int a, int b) {
-    return jobs[static_cast<std::size_t>(a)].release <
-           jobs[static_cast<std::size_t>(b)].release;
+    const double ra = jobs[static_cast<std::size_t>(a)].release;
+    const double rb = jobs[static_cast<std::size_t>(b)].release;
+    if (ra != rb) return ra < rb;
+    return a < b;
   });
 
   out.reset(n);
@@ -128,91 +233,11 @@ void online_batch_schedule_into(
     ws.batch_jobs.clear();
     while (next < ws.order.size() &&
            jobs[static_cast<std::size_t>(ws.order[next])].release <=
-               now + 1e-12) {
+               now + kReleaseTieEps) {
       ws.batch_jobs.push_back(ws.order[next]);
       ++next;
     }
-
-    // Determine the available processors against reservations: start from
-    // "everything free", schedule, check which reservations the batch
-    // overlaps, remove those processors and retry until stable.
-    ws.blocked.assign(static_cast<std::size_t>(m), 0);
-    // Iteration budget: between time jumps the blocked set only grows
-    // (<= m + 1 iterations per epoch), and every jump advances `now` past
-    // a distinct reservation end (<= reservations.size() jumps), so the
-    // bound is unreachable — exhausting it means the lift below would use
-    // a stale batch schedule, so it is an error, never a fallthrough.
-    const int max_iterations =
-        (static_cast<int>(reservations.size()) + 1) * (m + 2);
-    bool settled = false;
-    for (int iteration = 0; iteration < max_iterations; ++iteration) {
-      ws.free_procs.clear();
-      for (int p = 0; p < m; ++p) {
-        if (!ws.blocked[static_cast<std::size_t>(p)]) {
-          ws.free_procs.push_back(p);
-        }
-      }
-      const int avail = static_cast<int>(ws.free_procs.size());
-      if (avail == 0) {
-        // Fully reserved at this instant: jump past the earliest blocking
-        // reservation end and rebuild the batch window.
-        double jump = std::numeric_limits<double>::infinity();
-        for (const auto& r : reservations) {
-          if (r.finish > now) jump = std::min(jump, r.finish);
-        }
-        if (!std::isfinite(jump)) {
-          throw std::logic_error(
-              "online_batch_schedule: machine permanently fully reserved");
-        }
-        now = jump;
-        blocked_procs_into(m, reservations, now, now, ws.blocked);
-        continue;
-      }
-      const Instance batch_instance =
-          build_batch_instance(jobs, ws.batch_jobs, avail);
-      offline(batch_instance, ws, ws.batch);
-      const double horizon = now + ws.batch.cmax();
-      blocked_procs_into(m, reservations, now, horizon, ws.new_blocked);
-      if (ws.new_blocked == ws.blocked) {  // fixpoint: no new conflicts
-        settled = true;
-        break;
-      }
-      for (std::size_t p = 0; p < ws.new_blocked.size(); ++p) {
-        if (ws.new_blocked[p]) ws.blocked[p] = 1;  // monotone => converges
-      }
-    }
-    if (!settled) {
-      throw std::logic_error(
-          "online_batch_schedule: reservation fixpoint failed to converge");
-    }
-
-    // Lift the batch placements into global time / global processor ids.
-    for (std::size_t b = 0; b < ws.batch_jobs.size(); ++b) {
-      const int job_id = ws.batch_jobs[b];
-      const auto job = static_cast<std::size_t>(job_id);
-      out.schedule.start[job] = now + ws.batch.start[b];
-      out.schedule.duration[job] = ws.batch.duration[b];
-      out.schedule.proc_begin[job] =
-          static_cast<int>(out.schedule.proc_ids.size());
-      out.schedule.proc_count[job] = ws.batch.proc_count[b];
-      const auto begin = static_cast<std::size_t>(ws.batch.proc_begin[b]);
-      const auto count = static_cast<std::size_t>(ws.batch.proc_count[b]);
-      for (std::size_t p = begin; p < begin + count; ++p) {
-        out.schedule.proc_ids.push_back(
-            ws.free_procs[static_cast<std::size_t>(ws.batch.proc_ids[p])]);
-      }
-      const double completion =
-          now + (ws.batch.start[b] + ws.batch.duration[b]);
-      out.completion[job] = completion;
-      out.flow[job] = completion - jobs[job].release;
-      out.cmax = std::max(out.cmax, completion);
-      const double w = jobs[job].task.weight();
-      out.weighted_completion_sum += w * completion;
-      out.weighted_flow_sum += w * out.flow[job];
-    }
-    out.batch_starts.push_back(now);
-    ++out.num_batches;
-    now += ws.batch.cmax();
+    online_decide_batch(m, jobs.data(), reservations, offline, ws, now, out);
   }
 }
 
@@ -241,12 +266,15 @@ OnlineResult online_batch_schedule_reference(
   check_inputs(m, jobs, reservations);
   const int n = static_cast<int>(jobs.size());
 
-  // Jobs in release order.
+  // Jobs in release order (arrival-index tie-break, matching the flat
+  // core so the two paths stay bit-identical on simultaneous releases).
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return jobs[static_cast<std::size_t>(a)].release <
-           jobs[static_cast<std::size_t>(b)].release;
+    const double ra = jobs[static_cast<std::size_t>(a)].release;
+    const double rb = jobs[static_cast<std::size_t>(b)].release;
+    if (ra != rb) return ra < rb;
+    return a < b;
   });
 
   OnlineResult result(m, n);

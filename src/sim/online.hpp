@@ -53,6 +53,12 @@ struct NodeReservation {
 /// Off-line scheduler plug-in: full instance in, complete schedule out.
 using OfflineScheduler = std::function<Schedule(const Instance&)>;
 
+/// Release-time comparison slack: jobs released within this of the batch
+/// open instant join the batch. Shared by the off-line loop and the
+/// streaming core (sim/stream.hpp), whose watermark test must use the
+/// exact same tolerance to stay bit-identical.
+inline constexpr double kReleaseTieEps = 1e-12;
+
 /// Reusable state for repeated on-line simulations (one per engine strand).
 /// Every buffer is cleared (capacity kept) per run; after warm-up the
 /// simulator machinery performs no heap allocation. The remaining per-batch
@@ -67,6 +73,10 @@ struct OnlineWorkspace {
   std::vector<int> free_procs;       ///< unblocked processor ids
   std::vector<std::uint8_t> blocked;      ///< per-processor block flags
   std::vector<std::uint8_t> new_blocked;  ///< fixpoint scratch
+  /// Pooled reduced-machine batch instance, re-filled per batch decision
+  /// through Instance::reset/add_task_truncated — the flat path performs
+  /// no heap allocation at all once the pool is warm.
+  Instance batch_instance{1};
 };
 
 /// Off-line plug-in for the flat path: schedule `batch` (every task must be
@@ -108,6 +118,33 @@ struct OnlineResult {
 
   explicit OnlineResult(int m, int n) : schedule(m, n) {}
 };
+
+/// Mark every processor whose reservation intersects [start, finish) in a
+/// reusable flag buffer (resized/zeroed to m). Shared by the off-line
+/// loop's reservation fixpoint and the streaming core's divisible drain —
+/// one definition so the two paths cannot drift.
+void online_blocked_procs_into(
+    int m, const std::vector<NodeReservation>& reservations, double start,
+    double finish, std::vector<std::uint8_t>& blocked);
+
+/// Advanced hook shared by the flat off-line loop and the streaming core
+/// (sim/stream.hpp): decide ONE batch of the framework. On entry
+/// `ws.batch_jobs` names the batch's jobs (indices into `jobs`, all with
+/// release <= now + kReleaseTieEps) and `now` is the machine-idle instant
+/// the batch opens at; `now` may move forward when the machine is fully
+/// reserved at that instant. The call runs the reservation fixpoint, the
+/// off-line plug-in, and the lift into global time/processor ids, appends
+/// placements, metrics and batch bookkeeping to `out` (which must already
+/// have entries for every job id in the batch), and advances `now` to the
+/// batch's completion. Afterwards `ws.batch` holds the batch-local
+/// placements and `ws.free_procs` the processors the batch was allowed to
+/// use — exactly what the divisible filler consumes. Throws like
+/// online_batch_schedule_into.
+void online_decide_batch(int m, const OnlineJob* jobs,
+                         const std::vector<NodeReservation>& reservations,
+                         const FlatOfflineScheduler& offline,
+                         OnlineWorkspace& ws, double& now,
+                         FlatOnlineResult& out);
 
 /// Flat core of the batch framework: runs inside `ws`, writes into `out`.
 /// Throws std::invalid_argument on an empty job list, negative releases, or

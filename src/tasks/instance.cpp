@@ -22,6 +22,26 @@ int Instance::add_task(MoldableTask task) {
   return static_cast<int>(tasks_.size()) - 1;
 }
 
+void Instance::reset(int m) {
+  if (m < 1) throw std::invalid_argument("Instance: m must be >= 1");
+  m_ = m;
+  while (!tasks_.empty()) {
+    pool_.push_back(std::move(tasks_.back()));
+    tasks_.pop_back();
+  }
+}
+
+int Instance::add_task_truncated(const MoldableTask& src, int max_procs) {
+  MoldableTask shell;
+  if (!pool_.empty()) {
+    shell = std::move(pool_.back());
+    pool_.pop_back();
+  }
+  shell.assign_truncated(src, std::min(max_procs, m_));
+  tasks_.push_back(std::move(shell));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
 double Instance::tmin() const {
   if (tasks_.empty()) throw std::logic_error("Instance::tmin: no tasks");
   double best = std::numeric_limits<double>::infinity();

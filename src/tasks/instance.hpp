@@ -22,6 +22,19 @@ class Instance {
   /// (schedules, LP columns, ...).
   int add_task(MoldableTask task);
 
+  /// Rebuild support for pooled batch instances (the online simulator and
+  /// the streaming engine re-fill one Instance per batch decision): drop
+  /// every task, moving its heap storage into an internal shell pool, and
+  /// re-target the machine size. Throws on m < 1.
+  void reset(int m);
+
+  /// Append a copy of `src` with its time vector truncated to at most
+  /// `max_procs` (and at most m) entries, drawing storage from the shell
+  /// pool when one is available — a warm reset/add_task_truncated cycle
+  /// performs no heap allocation. Returns the task's index. Throws
+  /// std::invalid_argument when src cannot run on that few processors.
+  int add_task_truncated(const MoldableTask& src, int max_procs);
+
   [[nodiscard]] int procs() const noexcept { return m_; }
   [[nodiscard]] int num_tasks() const noexcept {
     return static_cast<int>(tasks_.size());
@@ -56,6 +69,8 @@ class Instance {
  private:
   int m_;
   std::vector<MoldableTask> tasks_;
+  /// Retired task shells (capacity donors for add_task_truncated).
+  std::vector<MoldableTask> pool_;
 };
 
 }  // namespace moldsched

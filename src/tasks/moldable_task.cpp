@@ -108,6 +108,17 @@ void MoldableTask::enforce_monotonicity() {
   }
 }
 
+void MoldableTask::assign_truncated(const MoldableTask& src, int procs) {
+  const int count = std::min(src.max_procs(), procs);
+  if (count < src.min_procs_) {
+    throw std::invalid_argument(
+        "MoldableTask::assign_truncated: fewer processors than min_procs");
+  }
+  times_.assign(src.times_.begin(), src.times_.begin() + count);
+  weight_ = src.weight_;
+  min_procs_ = src.min_procs_;
+}
+
 MoldableTask MoldableTask::from_speedup(
     double seq_time, int max_procs, double weight,
     const std::function<double(int)>& speedup) {

@@ -72,6 +72,15 @@ class MoldableTask {
   /// properties simultaneously.
   void enforce_monotonicity();
 
+  /// In-place rebuild reusing this task's time-vector capacity: become a
+  /// copy of `src` with the time vector truncated to at most `procs`
+  /// entries (the reduced-machine form the online batch builder needs).
+  /// The streaming hot path re-fills pooled tasks through this instead of
+  /// constructing fresh ones, so a warm pool rebuilds without heap
+  /// allocation. Throws std::invalid_argument when src.min_procs() > procs
+  /// (the task cannot run on that few processors).
+  void assign_truncated(const MoldableTask& src, int procs);
+
   /// Construct from a sequential time and a speedup function S(k)
   /// (S(1) must be 1): time(k) = seq_time / S(k).
   [[nodiscard]] static MoldableTask from_speedup(

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <array>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -106,6 +107,15 @@ class Rng {
   /// its parallelism-degree draws ("any random value smaller than 0 and
   /// larger than 1 are ignored and recomputed").
   double truncated_gaussian(double mean, double sd, double lo, double hi) noexcept;
+
+  /// Exponential with the given mean — the inter-arrival gaps of a
+  /// Poisson process at rate 1/mean (what the streaming bench and the
+  /// stream-server example drive their open-loop arrivals with).
+  /// uniform() < 1 keeps the log argument positive, so the result is
+  /// always finite and >= 0.
+  double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
 
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p) noexcept { return uniform() < p; }

@@ -163,5 +163,50 @@ TEST(CmaxEstimator, RigidTasksSupported) {
   EXPECT_GE(a0.allotment, 3);
 }
 
+TEST(DualTest, WorkspaceFormBitIdenticalToPlainOverloads) {
+  Rng rng(17);
+  DualTestWorkspace ws;  // deliberately shared across every call below
+  DualTestResult pooled;
+  for (auto family : all_families()) {
+    const Instance instance = generate_instance(family, 25, 12, rng);
+    const InstanceAllotments tables(instance);
+    const auto tight = estimate_cmax(instance).estimate;
+    for (double factor : {0.4, 0.8, 1.0, 1.3, 2.5}) {
+      const double lambda = tight * factor;
+      const auto plain = dual_test(instance, lambda, tables);
+      dual_test_into(instance, lambda, tables, ws, pooled);
+      EXPECT_EQ(pooled.feasible, plain.feasible);
+      EXPECT_EQ(pooled.total_work, plain.total_work);
+      ASSERT_EQ(pooled.assignment.size(), plain.assignment.size());
+      for (std::size_t i = 0; i < plain.assignment.size(); ++i) {
+        EXPECT_EQ(pooled.assignment[i].shelf, plain.assignment[i].shelf);
+        EXPECT_EQ(pooled.assignment[i].allotment,
+                  plain.assignment[i].allotment);
+      }
+    }
+  }
+}
+
+TEST(CmaxEstimator, WorkspaceFormKeepsTheSearchTrajectory) {
+  Rng rng(18);
+  DualTestWorkspace ws;
+  for (auto family : all_families()) {
+    const Instance instance = generate_instance(family, 30, 10, rng);
+    const InstanceAllotments tables(instance);
+    const auto plain = estimate_cmax(instance, 1e-4, tables);
+    const auto pooled = estimate_cmax(instance, 1e-4, tables, ws);
+    EXPECT_EQ(pooled.estimate, plain.estimate) << family_name(family);
+    EXPECT_EQ(pooled.lower_bound, plain.lower_bound);
+    // The regression anchor: pooling must not change the search at all.
+    EXPECT_EQ(pooled.dual_tests, plain.dual_tests);
+    ASSERT_EQ(pooled.partition.assignment.size(),
+              plain.partition.assignment.size());
+    for (std::size_t i = 0; i < plain.partition.assignment.size(); ++i) {
+      EXPECT_EQ(pooled.partition.assignment[i].allotment,
+                plain.partition.assignment[i].allotment);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace moldsched
