@@ -1,10 +1,14 @@
 /// Async serving bench for the submit/poll layer: verifies the async path
 /// is bit-identical to the synchronous SchedulerEngine for shard counts
-/// {1, 2, 4}, sweeps throughput and submit-to-done latency percentiles
-/// over the shard counts, exercises admission control, and counts
-/// steady-state heap allocations per request on the metrics-only FlatList
-/// path with a global operator-new hook (must be 0.00; the process exits
-/// non-zero otherwise, same as on a determinism failure).
+/// {1, 2, 4} — through both the deprecated enum spelling and the
+/// SchedulingPolicy-object API — sweeps throughput and submit-to-done
+/// latency percentiles over the shard counts, exercises admission control
+/// (including weighted priority lanes: per-lane latency percentiles and a
+/// per-lane-capacity rejection report), and counts steady-state heap
+/// allocations per request on the metrics-only FlatList path with >= 2
+/// priority lanes active, using a global operator-new hook (must be 0.00;
+/// the process exits non-zero otherwise, same as on a determinism
+/// failure).
 ///
 /// Run `serve_throughput --help` for flags; all BENCH_*.json schemas are
 /// documented centrally in docs/BENCHMARKS.md.
@@ -50,6 +54,7 @@ Flags
   --max-batch N     coalescing batch bound                     [16]
   --flush-ms X      deadline flush (ms; 0 = every submit)      [0.5]
   --capacity N      admission bound (in-flight tickets)        [4096]
+  --lanes a,b,c     priority-lane weights (>= 2 lanes)         [3,1]
   --shuffles N      DEMT shuffle candidates per request        [8]
   --seed S          base RNG seed                              [20040627]
   --quick           small preset (24 requests, 2 reps)
@@ -61,7 +66,8 @@ documented in docs/BENCHMARKS.md; the serving architecture and its
 determinism/allocation contracts in docs/SERVING.md.
 
 Exit status: non-zero when any async result differs from the synchronous
-reference, or when the steady-state metrics-only FlatList path allocates
+reference (enum or policy-object path), or when the steady-state
+metrics-only FlatList path with priority lanes active allocates
 (allocation counting is compiled out under AddressSanitizer and reported
 as -1: sanitized builds gate determinism and admission only).
 )";
@@ -131,8 +137,23 @@ int main(int argc, char** argv) {
   const int max_batch = static_cast<int>(args.get_int("max-batch", 16));
   const double flush_ms = args.get_double("flush-ms", 0.5);
   const int capacity = static_cast<int>(args.get_int("capacity", 4096));
+  const std::vector<int> lane_weights = args.get_int_list("lanes", {3, 1});
   const int shuffles = static_cast<int>(args.get_int("shuffles", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20040627));
+
+  // The priority-lane table every lane-aware section serves: weights from
+  // --lanes, no per-lane bound by default (the weighted-admission report
+  // adds one).
+  std::vector<LaneSpec> lane_specs;
+  lane_specs.reserve(lane_weights.size());
+  for (std::size_t l = 0; l < lane_weights.size(); ++l) {
+    LaneSpec spec;
+    spec.name = "lane" + std::to_string(l);
+    spec.weight = std::max(1, lane_weights[l]);
+    lane_specs.push_back(spec);
+  }
+  const WeightedLanesAdmission lanes_admission(lane_specs);
+  const int num_lanes = static_cast<int>(lane_specs.size());
 
   const std::vector<WorkloadFamily> families = {
       WorkloadFamily::WeaklyParallel, WorkloadFamily::Cirne,
@@ -146,14 +167,19 @@ int main(int argc, char** argv) {
   }
   DemtOptions demt_options;
   demt_options.shuffles = shuffles;
+  const DemtPolicy demt_policy(demt_options);
+  const FlatListPolicy flat_policy;
   std::vector<EngineRequest> demt_requests(instances.size());
   std::vector<EngineRequest> flat_requests(instances.size());
+  std::vector<EngineRequest> demt_policy_requests(instances.size());
   for (std::size_t i = 0; i < instances.size(); ++i) {
     demt_requests[i].instance = &instances[i];
     demt_requests[i].algorithm = EngineAlgorithm::Demt;
     demt_requests[i].demt = demt_options;
     flat_requests[i] = demt_requests[i];
     flat_requests[i].algorithm = EngineAlgorithm::FlatList;
+    demt_policy_requests[i].instance = &instances[i];
+    demt_policy_requests[i].policy = &demt_policy;
   }
 
   std::cout << strfmt(
@@ -164,17 +190,22 @@ int main(int argc, char** argv) {
 
   bool all_ok = true;
 
-  // --- determinism: async vs synchronous engine, schedules kept -------
+  // --- determinism: async vs synchronous engine, schedules kept, via
+  // --- both the deprecated enum spelling and the policy-object API (the
+  // --- policy run also spreads submissions across the priority lanes:
+  // --- lanes must never change a result, only its timing) ------------
   struct DeterminismRow {
     int shards = 0;
-    bool identical = true;
+    bool identical = true;        ///< enum adapter path
+    bool policy_identical = true; ///< SchedulingPolicy path, lanes active
   };
   std::vector<DeterminismRow> determinism_rows;
   {
     SchedulerEngine sync(EngineOptions{1, true});
     std::vector<EngineResult> reference;
     sync.schedule_batch(demt_requests, reference);
-    std::cout << strfmt("%-10s %10s\n", "shards", "identical");
+    std::cout << strfmt("%-10s %10s %18s\n", "shards", "identical",
+                        "policy+lanes");
     for (int shards : shard_settings) {
       AsyncOptions options;
       options.shards = shards;
@@ -182,22 +213,43 @@ int main(int argc, char** argv) {
       options.flush_after_ms = flush_ms;
       options.queue_capacity = std::max(capacity, num_requests);
       options.keep_schedules = true;
-      AsyncScheduler async(options);
-      std::vector<Ticket> tickets;
-      tickets.reserve(demt_requests.size());
-      for (const auto& request : demt_requests) {
-        tickets.push_back(async.submit(request));
+      DeterminismRow row;
+      row.shards = shards;
+      {
+        AsyncScheduler async(options);
+        std::vector<Ticket> tickets;
+        tickets.reserve(demt_requests.size());
+        for (const auto& request : demt_requests) {
+          tickets.push_back(async.submit(request));
+        }
+        async.drain();
+        EngineResult result;
+        for (std::size_t i = 0; i < tickets.size(); ++i) {
+          row.identical &= async.take(tickets[i], result) &&
+                           results_identical(result, reference[i]);
+        }
       }
-      async.drain();
-      bool identical = true;
-      EngineResult result;
-      for (std::size_t i = 0; i < tickets.size(); ++i) {
-        identical &= async.take(tickets[i], result) &&
-                     results_identical(result, reference[i]);
+      {
+        options.admission = &lanes_admission;
+        AsyncScheduler async(options);
+        std::vector<Ticket> tickets;
+        tickets.reserve(demt_policy_requests.size());
+        for (std::size_t i = 0; i < demt_policy_requests.size(); ++i) {
+          tickets.push_back(async.submit(demt_policy_requests[i],
+                                         static_cast<int>(i) % num_lanes));
+        }
+        async.drain();
+        EngineResult result;
+        for (std::size_t i = 0; i < tickets.size(); ++i) {
+          row.policy_identical &= async.take(tickets[i], result) &&
+                                  results_identical(result, reference[i]);
+        }
       }
-      determinism_rows.push_back(DeterminismRow{shards, identical});
-      all_ok &= identical;
-      std::cout << strfmt("%-10d %10s\n", shards, identical ? "yes" : "NO");
+      determinism_rows.push_back(row);
+      all_ok &= row.identical && row.policy_identical;
+      std::cout << strfmt("%-10d %10s %18s\n", shards,
+                          row.identical ? "yes" : "NO",
+                          row.policy_identical ? "yes" : "NO");
     }
   }
 
@@ -299,7 +351,114 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.completed));
   }
 
-  // --- steady-state allocations on the metrics-only FlatList path -----
+  // --- priority lanes: per-lane latency + weighted-admission report ----
+  struct LaneLatencyRow {
+    std::string name;
+    int weight = 1;
+    std::uint64_t served = 0;
+    Percentiles latency;
+  };
+  std::vector<LaneLatencyRow> lane_rows;
+  struct LaneAdmissionRow {
+    std::string name;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+  };
+  int per_lane_capacity = 0;
+  std::vector<LaneAdmissionRow> lane_admission_rows;
+  {
+    // Latency per lane under weighted-fair service: one shard, every lane
+    // loaded round-robin with the FlatList mix, reps rounds.
+    AsyncOptions options;
+    options.shards = 1;
+    options.max_batch = max_batch;
+    options.flush_after_ms = flush_ms;
+    options.queue_capacity = std::max(capacity, num_requests);
+    options.keep_schedules = false;
+    options.admission = &lanes_admission;
+    AsyncScheduler async(options);
+    std::vector<Ticket> tickets;
+    std::vector<std::vector<double>> lane_latencies(
+        static_cast<std::size_t>(num_lanes));
+    EngineResult result;
+    for (int r = 0; r < reps + 1; ++r) {
+      tickets.clear();
+      for (std::size_t i = 0; i < flat_requests.size(); ++i) {
+        tickets.push_back(async.submit(flat_requests[i],
+                                       static_cast<int>(i) % num_lanes));
+      }
+      async.drain();
+      for (const Ticket& ticket : tickets) {
+        if (r > 0) {  // round 0 is warm-up
+          lane_latencies[ticket.lane].push_back(
+              async.latency_seconds(ticket) * 1e3);
+        }
+        (void)async.take(ticket, result);
+      }
+    }
+    const AsyncStats stats = async.stats();
+    std::cout << strfmt("\n%-10s %8s %10s %10s %10s %10s %10s\n", "lane",
+                        "weight", "served", "p50 ms", "p90 ms", "p99 ms",
+                        "max ms");
+    for (int l = 0; l < num_lanes; ++l) {
+      LaneLatencyRow row;
+      row.name = lane_specs[static_cast<std::size_t>(l)].name;
+      row.weight = lane_specs[static_cast<std::size_t>(l)].weight;
+      row.served = stats.lanes[static_cast<std::size_t>(l)].completed;
+      row.latency = percentiles(lane_latencies[static_cast<std::size_t>(l)]);
+      lane_rows.push_back(row);
+      std::cout << strfmt("%-10s %8d %10llu %10.3f %10.3f %10.3f %10.3f\n",
+                          row.name.c_str(), row.weight,
+                          static_cast<unsigned long long>(row.served),
+                          row.latency.p50, row.latency.p90, row.latency.p99,
+                          row.latency.max);
+    }
+  }
+  {
+    // Weighted admission under overload: every lane gets the same tight
+    // per-lane bound and the same offered load; rejections land per lane.
+    per_lane_capacity = std::max(4, num_requests / (4 * num_lanes));
+    std::vector<LaneSpec> bounded = lane_specs;
+    for (auto& spec : bounded) spec.queue_capacity = per_lane_capacity;
+    const WeightedLanesAdmission bounded_admission(bounded);
+    AsyncOptions options;
+    options.shards = 1;
+    options.max_batch = max_batch;
+    options.flush_after_ms = 1e6;  // hold everything: pure admission test
+    options.queue_capacity = std::max(capacity, num_requests);
+    options.admission = &bounded_admission;
+    AsyncScheduler async(options);
+    std::vector<Ticket> tickets;
+    for (std::size_t i = 0; i < flat_requests.size(); ++i) {
+      tickets.push_back(async.submit(flat_requests[i],
+                                     static_cast<int>(i) % num_lanes));
+    }
+    async.drain();
+    EngineResult result;
+    for (const Ticket& ticket : tickets) {
+      if (ticket.accepted()) (void)async.take(ticket, result);
+    }
+    const AsyncStats stats = async.stats();
+    std::cout << strfmt(
+        "\n# weighted admission: per-lane capacity %d, offered %d across %d "
+        "lanes\n",
+        per_lane_capacity, num_requests, num_lanes);
+    for (int l = 0; l < num_lanes; ++l) {
+      LaneAdmissionRow row;
+      row.name = bounded[static_cast<std::size_t>(l)].name;
+      row.accepted = stats.lanes[static_cast<std::size_t>(l)].submitted;
+      row.rejected = stats.lanes[static_cast<std::size_t>(l)].rejected;
+      lane_admission_rows.push_back(row);
+      std::cout << strfmt(
+          "#   %-8s accepted %llu, rejected %llu\n", row.name.c_str(),
+          static_cast<unsigned long long>(row.accepted),
+          static_cast<unsigned long long>(row.rejected));
+    }
+  }
+
+  // --- steady-state allocations: metrics-only FlatList path with the
+  // --- priority lanes active (the acceptance gate: lanes must not cost
+  // --- an allocation) -------------------------------------------------
   double allocs_per_request = -1.0;  // -1 = not measured (sanitizer build)
   if (kAllocHookEnabled) {
     AsyncOptions options;
@@ -308,14 +467,16 @@ int main(int argc, char** argv) {
     options.flush_after_ms = flush_ms;
     options.queue_capacity = std::max(capacity, num_requests);
     options.keep_schedules = false;
+    options.admission = &lanes_admission;
     AsyncScheduler async(options);
     std::vector<Ticket> tickets;
     tickets.reserve(flat_requests.size());
     EngineResult result;
     const auto round = [&] {
       tickets.clear();
-      for (const auto& request : flat_requests) {
-        tickets.push_back(async.submit(request));
+      for (std::size_t i = 0; i < flat_requests.size(); ++i) {
+        tickets.push_back(async.submit(flat_requests[i],
+                                       static_cast<int>(i) % num_lanes));
       }
       for (const Ticket& ticket : tickets) {
         (void)async.wait(ticket);
@@ -330,9 +491,9 @@ int main(int argc, char** argv) {
         static_cast<double>(g_alloc_count.load() - before) /
         static_cast<double>(flat_requests.size() * static_cast<std::size_t>(reps));
     std::cout << strfmt(
-        "\n# steady-state allocations (1 shard, metrics-only flatlist): "
-        "%.2f allocs/request\n",
-        allocs_per_request);
+        "\n# steady-state allocations (1 shard, metrics-only flatlist, "
+        "%d lanes): %.2f allocs/request\n",
+        num_lanes, allocs_per_request);
     if (allocs_per_request != 0.0) {
       std::cerr << "ERROR: steady-state serving path allocated\n";
       all_ok = false;
@@ -353,12 +514,21 @@ int main(int argc, char** argv) {
         "  \"pool_workers\": %zu,\n",
         num_requests, n, m, reps, shuffles, max_batch, flush_ms, capacity,
         shared_thread_pool().size());
+    out << "  \"lane_weights\": [";
+    for (int l = 0; l < num_lanes; ++l) {
+      out << strfmt("%d%s", lane_specs[static_cast<std::size_t>(l)].weight,
+                    l + 1 < num_lanes ? ", " : "");
+    }
+    out << "],\n";
     out << "  \"determinism\": [\n";
     for (std::size_t i = 0; i < determinism_rows.size(); ++i) {
       const auto& row = determinism_rows[i];
-      out << strfmt("    {\"shards\": %d, \"identical_to_sync\": %s}%s\n",
-                    row.shards, row.identical ? "true" : "false",
-                    i + 1 < determinism_rows.size() ? "," : "");
+      out << strfmt(
+          "    {\"shards\": %d, \"identical_to_sync\": %s, "
+          "\"policy_lanes_identical_to_sync\": %s}%s\n",
+          row.shards, row.identical ? "true" : "false",
+          row.policy_identical ? "true" : "false",
+          i + 1 < determinism_rows.size() ? "," : "");
     }
     out << "  ],\n  \"throughput\": [\n";
     for (std::size_t i = 0; i < throughput_rows.size(); ++i) {
@@ -377,10 +547,36 @@ int main(int argc, char** argv) {
         admission.capacity, admission.offered,
         static_cast<unsigned long long>(admission.accepted),
         static_cast<unsigned long long>(admission.rejected));
+    out << "  \"lane_latency\": [\n";
+    for (std::size_t l = 0; l < lane_rows.size(); ++l) {
+      const auto& row = lane_rows[l];
+      out << strfmt(
+          "    {\"lane\": \"%s\", \"weight\": %d, \"served\": %llu, "
+          "\"latency_ms\": {\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, "
+          "\"max\": %.3f}}%s\n",
+          row.name.c_str(), row.weight,
+          static_cast<unsigned long long>(row.served), row.latency.p50,
+          row.latency.p90, row.latency.p99, row.latency.max,
+          l + 1 < lane_rows.size() ? "," : "");
+    }
+    out << strfmt(
+        "  ],\n  \"weighted_admission\": {\"per_lane_capacity\": %d, "
+        "\"offered\": %d, \"lanes\": [\n",
+        per_lane_capacity, num_requests);
+    for (std::size_t l = 0; l < lane_admission_rows.size(); ++l) {
+      const auto& row = lane_admission_rows[l];
+      out << strfmt(
+          "    {\"lane\": \"%s\", \"accepted\": %llu, \"rejected\": "
+          "%llu}%s\n",
+          row.name.c_str(), static_cast<unsigned long long>(row.accepted),
+          static_cast<unsigned long long>(row.rejected),
+          l + 1 < lane_admission_rows.size() ? "," : "");
+    }
+    out << "  ]},\n";
     out << strfmt(
         "  \"allocs\": [\n    {\"path\": \"serve_flatlist_metrics_only\", "
-        "\"allocs_per_request\": %.2f}\n  ]\n}\n",
-        allocs_per_request);
+        "\"lanes_active\": %d, \"allocs_per_request\": %.2f}\n  ]\n}\n",
+        num_lanes, allocs_per_request);
     std::cout << "# json written to " << json_path << "\n";
   }
 

@@ -10,6 +10,10 @@
 #     (src/sim/online.hpp, src/sim/stream.hpp, src/sim/divisible.hpp)
 #     must be mentioned in docs/ONLINE.md — same rule for the streaming
 #     handbook;
+#  3b. every public symbol of the scheduling-policy surface
+#     (src/core/policy.hpp and src/baselines/lpt_policy.hpp) must be
+#     mentioned in docs/API.md — the policy objects are the library's
+#     primary extension point and the API reference must cover them;
 #  4. docs/ARCHITECTURE.md must exist and cover every source layer it
 #     promises (core/, sched/, sim/, engine/, serve/);
 #  5. docs/BENCHMARKS.md must exist and document every BENCH_*.json
@@ -111,6 +115,12 @@ file(READ "${serving_md}" serving_text)
 file(GLOB_RECURSE serve_headers "${REPO}/src/serve/*.hpp")
 list(SORT serve_headers)
 check_symbol_coverage("${serve_headers}" "${serving_text}" "docs/SERVING.md")
+
+# --- policy surface: docs/API.md must cover every policy symbol ---------
+set(policy_headers
+    "${REPO}/src/core/policy.hpp"
+    "${REPO}/src/baselines/lpt_policy.hpp")
+check_symbol_coverage("${policy_headers}" "${api_text}" "docs/API.md")
 
 # --- online/streaming layer: docs/ONLINE.md covers the sim surface -------
 set(online_md "${REPO}/docs/ONLINE.md")

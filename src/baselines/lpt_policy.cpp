@@ -1,0 +1,41 @@
+#include "baselines/lpt_policy.hpp"
+
+#include <algorithm>
+
+namespace moldsched {
+
+namespace {
+
+struct LptRigidWorkspace final : PolicyWorkspace {
+  ListPassWorkspace list;
+};
+
+}  // namespace
+
+std::unique_ptr<PolicyWorkspace> LptRigidPolicy::make_workspace() const {
+  return std::make_unique<LptRigidWorkspace>();
+}
+
+void LptRigidPolicy::schedule_into(const Instance& batch, PolicyWorkspace& ws,
+                                   FlatPlacements& out) const {
+  auto& lpt_ws = static_cast<LptRigidWorkspace&>(ws);
+  ListPassWorkspace& list = lpt_ws.list;
+  fill_min_work_jobs(batch, list);
+  // Longest duration first; task id pins ties so the schedule is a pure
+  // function of the instance.
+  std::sort(list.jobs.begin(), list.jobs.end(),
+            [](const ListJob& a, const ListJob& b) {
+              if (a.duration != b.duration) return a.duration > b.duration;
+              return a.task < b.task;
+            });
+  static const std::vector<BusyInterval> kNoReservations;
+  list_schedule_into(batch.procs(), batch.num_tasks(), kNoReservations, list,
+                     out);
+}
+
+const void* LptRigidPolicy::workspace_key() const noexcept {
+  static const char kKey = 0;
+  return &kKey;
+}
+
+}  // namespace moldsched

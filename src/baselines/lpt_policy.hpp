@@ -1,0 +1,37 @@
+/// \file lpt_policy.hpp
+/// LPT over rigid min-work allotments as a SchedulingPolicy — the third
+/// built-in policy, and deliberately the proof that the policy surface is
+/// a real extension point: this file lives with the paper baselines and
+/// plugs into the engine, the on-line simulator, the streaming path, and
+/// the async serving layer without a single change to any of them
+/// (exercised end-to-end by tests/test_policy.cpp).
+///
+/// The algorithm is classic Graham LPT restricted to rigid allotments:
+/// every task runs on its min-work allotment (the cheapest processor
+/// count in total work), the list is ordered by duration decreasing
+/// (longest processing time first, task id tie-break), and one
+/// allocation-free list pass places it. Compared to FlatListPolicy only
+/// the list order differs — Smith ratio optimises the weighted minsum,
+/// LPT the makespan.
+
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace moldsched {
+
+/// Longest-processing-time-first list scheduling on rigid min-work
+/// allotments. Stateless; workspaces shared per class.
+class LptRigidPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "lpt_rigid";
+  }
+  [[nodiscard]] std::unique_ptr<PolicyWorkspace> make_workspace()
+      const override;
+  void schedule_into(const Instance& batch, PolicyWorkspace& ws,
+                     FlatPlacements& out) const override;
+  [[nodiscard]] const void* workspace_key() const noexcept override;
+};
+
+}  // namespace moldsched

@@ -1,0 +1,87 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+namespace moldsched {
+
+PolicyWorkspace::~PolicyWorkspace() = default;
+SchedulingPolicy::~SchedulingPolicy() = default;
+
+const void* SchedulingPolicy::workspace_key() const noexcept { return this; }
+
+void fill_min_work_jobs(const Instance& instance, ListPassWorkspace& list) {
+  const int n = instance.num_tasks();
+  list.jobs.clear();
+  for (int t = 0; t < n; ++t) {
+    const MoldableTask& task = instance.task(t);
+    const int k = task.min_work_procs();
+    list.jobs.push_back(ListJob{t, k, task.time(k), 0.0});
+  }
+}
+
+void flat_list_schedule(const Instance& instance, ListPassWorkspace& list,
+                        FlatPlacements& out) {
+  fill_min_work_jobs(instance, list);
+  // Smith ratio decreasing; task id breaks ties so the order (and thus the
+  // schedule) is deterministic. std::sort, not stable_sort: the latter may
+  // allocate its merge buffer, and the explicit tie-break already pins the
+  // order.
+  std::sort(list.jobs.begin(), list.jobs.end(),
+            [&](const ListJob& a, const ListJob& b) {
+              const double ra =
+                  instance.task(a.task).weight() / a.duration;
+              const double rb =
+                  instance.task(b.task).weight() / b.duration;
+              if (ra != rb) return ra > rb;
+              return a.task < b.task;
+            });
+  static const std::vector<BusyInterval> kNoReservations;
+  list_schedule_into(instance.procs(), instance.num_tasks(), kNoReservations,
+                     list, out);
+}
+
+namespace {
+
+struct DemtPolicyWorkspace final : PolicyWorkspace {
+  DemtWorkspace demt;
+};
+
+struct FlatListPolicyWorkspace final : PolicyWorkspace {
+  ListPassWorkspace list;
+};
+
+}  // namespace
+
+std::unique_ptr<PolicyWorkspace> DemtPolicy::make_workspace() const {
+  return std::make_unique<DemtPolicyWorkspace>();
+}
+
+void DemtPolicy::schedule_into(const Instance& batch, PolicyWorkspace& ws,
+                               FlatPlacements& out) const {
+  auto& demt_ws = static_cast<DemtPolicyWorkspace&>(ws);
+  DemtResult result = demt_schedule(batch, options_, demt_ws.demt);
+  ws.last_diag = result.diag;
+  out.assign_from(result.schedule);
+}
+
+const void* DemtPolicy::workspace_key() const noexcept {
+  static const char kKey = 0;
+  return &kKey;
+}
+
+std::unique_ptr<PolicyWorkspace> FlatListPolicy::make_workspace() const {
+  return std::make_unique<FlatListPolicyWorkspace>();
+}
+
+void FlatListPolicy::schedule_into(const Instance& batch, PolicyWorkspace& ws,
+                                   FlatPlacements& out) const {
+  auto& flat_ws = static_cast<FlatListPolicyWorkspace&>(ws);
+  flat_list_schedule(batch, flat_ws.list, out);
+}
+
+const void* FlatListPolicy::workspace_key() const noexcept {
+  static const char kKey = 0;
+  return &kKey;
+}
+
+}  // namespace moldsched

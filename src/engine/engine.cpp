@@ -8,33 +8,36 @@
 
 namespace moldsched {
 
-void flat_list_schedule(const Instance& instance, ListPassWorkspace& list,
-                        FlatPlacements& out) {
-  const int n = instance.num_tasks();
-  list.jobs.clear();
-  for (int t = 0; t < n; ++t) {
-    const MoldableTask& task = instance.task(t);
-    const int k = task.min_work_procs();
-    list.jobs.push_back(ListJob{t, k, task.time(k), 0.0});
+PolicyWorkspace& EngineWorkspace::policy_workspace(
+    const SchedulingPolicy& policy) {
+  const void* key = policy.workspace_key();
+  for (auto& slot : policy_pool) {
+    if (slot.key == key) return *slot.ws;
   }
-  // Smith ratio decreasing; task id breaks ties so the order (and thus the
-  // schedule) is deterministic. std::sort, not stable_sort: the latter may
-  // allocate its merge buffer, and the explicit tie-break already pins the
-  // order.
-  std::sort(list.jobs.begin(), list.jobs.end(),
-            [&](const ListJob& a, const ListJob& b) {
-              const double ra =
-                  instance.task(a.task).weight() / a.duration;
-              const double rb =
-                  instance.task(b.task).weight() / b.duration;
-              if (ra != rb) return ra > rb;
-              return a.task < b.task;
-            });
-  static const std::vector<BusyInterval> kNoReservations;
-  list_schedule_into(instance.procs(), n, kNoReservations, list, out);
+  policy_pool.push_back(PolicySlot{key, policy.make_workspace()});
+  return *policy_pool.back().ws;
 }
 
 namespace {
+
+/// Serve one off-line request under `policy` (the single execution path:
+/// the deprecated enum adapters resolve here too). Metrics come from the
+/// flat placements; a Schedule is materialised only when asked for.
+void run_policy_request(const SchedulingPolicy& policy,
+                        const Instance& instance, bool keep_schedules,
+                        EngineWorkspace& ws, EngineResult& out) {
+  PolicyWorkspace& policy_ws = ws.policy_workspace(policy);
+  policy_ws.last_diag = DemtDiagnostics{};  // workspaces carry no state
+  policy.schedule_into(instance, policy_ws, ws.flat);
+  out.cmax = ws.flat.cmax();
+  out.weighted_completion_sum = ws.flat.weighted_completion_sum(instance);
+  out.diag = policy_ws.last_diag;
+  out.has_schedule = false;
+  if (keep_schedules) {
+    out.schedule = ws.flat.to_schedule(instance.procs());
+    out.has_schedule = true;
+  }
+}
 
 void serve_offline(const EngineRequest& request, bool keep_schedules,
                    EngineWorkspace& ws, EngineResult& out) {
@@ -42,30 +45,23 @@ void serve_offline(const EngineRequest& request, bool keep_schedules,
     throw std::invalid_argument("SchedulerEngine: request without instance");
   }
   const Instance& instance = *request.instance;
-  out.has_schedule = false;
+  if (request.policy != nullptr) {
+    run_policy_request(*request.policy, instance, keep_schedules, ws, out);
+    return;
+  }
+  // Deprecated enum adapter: resolve to the matching built-in policy.
+  // Construction only copies options (no heap), and the built-ins share
+  // per-class workspace keys, so the adapter stays allocation-free and
+  // bit-identical to passing the policy object directly.
   switch (request.algorithm) {
     case EngineAlgorithm::Demt: {
-      DemtResult result = demt_schedule(instance, request.demt, ws.demt);
-      out.cmax = result.schedule.cmax();
-      out.weighted_completion_sum =
-          result.schedule.weighted_completion_sum(instance);
-      out.diag = result.diag;
-      if (keep_schedules) {
-        out.schedule = std::move(result.schedule);
-        out.has_schedule = true;
-      }
+      const DemtPolicy policy(request.demt);
+      run_policy_request(policy, instance, keep_schedules, ws, out);
       return;
     }
     case EngineAlgorithm::FlatList: {
-      flat_list_schedule(instance, ws.list, ws.flat);
-      out.cmax = ws.flat.cmax();
-      out.weighted_completion_sum =
-          ws.flat.weighted_completion_sum(instance);
-      out.diag = DemtDiagnostics{};
-      if (keep_schedules) {
-        out.schedule = ws.flat.to_schedule(instance.procs());
-        out.has_schedule = true;
-      }
+      const FlatListPolicy policy;
+      run_policy_request(policy, instance, keep_schedules, ws, out);
       return;
     }
   }
@@ -81,24 +77,40 @@ void serve_online(const OnlineRequest& request, EngineWorkspace& ws,
   const std::vector<NodeReservation>& reservations =
       request.reservations != nullptr ? *request.reservations
                                       : kNoReservations;
-  FlatOfflineScheduler offline;
-  if (request.offline_algorithm == EngineAlgorithm::FlatList) {
-    // Capture-less: fits std::function's small-object storage.
-    offline = [](const Instance& batch, OnlineWorkspace& ows,
-                 FlatPlacements& placed) {
-      flat_list_schedule(batch, ows.list, placed);
-    };
-  } else {
-    ws.online_demt = request.demt;
-    EngineWorkspace* strand = &ws;  // one-pointer capture: stays in SBO
-    offline = [strand](const Instance& batch, OnlineWorkspace& /*ows*/,
-                       FlatPlacements& placed) {
-      placed.assign_from(
-          demt_schedule(batch, strand->online_demt, strand->demt).schedule);
-    };
+  if (request.policy != nullptr) {
+    online_batch_schedule_into(request.m, *request.jobs, *request.policy,
+                               ws.policy_workspace(*request.policy),
+                               reservations, ws.online, out);
+    return;
   }
-  online_batch_schedule_into(request.m, *request.jobs, offline, reservations,
-                             ws.online, out);
+  if (request.offline_algorithm == EngineAlgorithm::FlatList) {
+    const FlatListPolicy policy;
+    online_batch_schedule_into(request.m, *request.jobs, policy,
+                               ws.policy_workspace(policy), reservations,
+                               ws.online, out);
+  } else {
+    const DemtPolicy policy(request.demt);
+    online_batch_schedule_into(request.m, *request.jobs, policy,
+                               ws.policy_workspace(policy), reservations,
+                               ws.online, out);
+  }
+}
+
+/// Run `fn(policy, policy_workspace)` under the stream's off-line policy —
+/// the borrowed policy object when one was configured, else a
+/// stack-constructed built-in adapter whose lifetime spans the call.
+template <typename Fn>
+void with_stream_policy(EngineStreamState& state, EngineWorkspace& ws,
+                        const Fn& fn) {
+  if (state.policy != nullptr) {
+    fn(*state.policy, ws.policy_workspace(*state.policy));
+  } else if (state.offline_algorithm == EngineAlgorithm::FlatList) {
+    const FlatListPolicy policy;
+    fn(policy, ws.policy_workspace(policy));
+  } else {
+    const DemtPolicy policy(state.demt);
+    fn(policy, ws.policy_workspace(policy));
+  }
 }
 
 }  // namespace
@@ -156,6 +168,16 @@ std::vector<EngineResult> SchedulerEngine::schedule_all(
   return schedule_batch(requests);
 }
 
+std::vector<EngineResult> SchedulerEngine::schedule_all(
+    const std::vector<Instance>& instances, const SchedulingPolicy& policy) {
+  std::vector<EngineRequest> requests(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    requests[i].instance = &instances[i];
+    requests[i].policy = &policy;
+  }
+  return schedule_batch(requests);
+}
+
 void SchedulerEngine::simulate_batch(
     const std::vector<OnlineRequest>& requests,
     std::vector<FlatOnlineResult>& results) {
@@ -165,31 +187,6 @@ void SchedulerEngine::simulate_batch(
   });
   stats_.online_requests += requests.size();
 }
-
-namespace {
-
-/// Per-call off-line plug-in for a stream's batch decisions. Capture-light
-/// (two pointers, valid for the duration of one engine call), so the
-/// std::function stays in its small-object storage — no allocation per
-/// feed.
-[[nodiscard]] FlatOfflineScheduler stream_offline(EngineStreamState& state,
-                                                  EngineWorkspace& ws) {
-  if (state.offline_algorithm == EngineAlgorithm::FlatList) {
-    return [](const Instance& batch, OnlineWorkspace& ows,
-              FlatPlacements& placed) {
-      flat_list_schedule(batch, ows.list, placed);
-    };
-  }
-  EngineStreamState* stream = &state;
-  EngineWorkspace* strand = &ws;
-  return [stream, strand](const Instance& batch, OnlineWorkspace& /*ows*/,
-                          FlatPlacements& placed) {
-    placed.assign_from(
-        demt_schedule(batch, stream->demt, strand->demt).schedule);
-  };
-}
-
-}  // namespace
 
 EngineStreamId SchedulerEngine::open_stream(const StreamConfig& config) {
   if (workspaces_.empty()) workspaces_.resize(1);
@@ -214,6 +211,7 @@ EngineStreamId SchedulerEngine::open_stream(const StreamConfig& config) {
   }
   state.demt = config.demt;
   state.offline_algorithm = config.offline_algorithm;
+  state.policy = config.policy;
   state.in_use = true;
   ++state.serial;
   ++stats_.streams_opened;
@@ -238,8 +236,11 @@ void SchedulerEngine::feed_stream(const EngineStreamId& id,
                                   std::size_t count, double watermark,
                                   StreamDelivery& out) {
   EngineStreamState& state = stream_state(id);
-  state.sim.feed(arrivals, count, watermark,
-                 stream_offline(state, workspaces_[0]), out);
+  with_stream_policy(
+      state, workspaces_[0],
+      [&](const SchedulingPolicy& policy, PolicyWorkspace& policy_ws) {
+        state.sim.feed(arrivals, count, watermark, policy, policy_ws, out);
+      });
   ++stats_.stream_feeds;
   stats_.stream_arrivals += count;
 }
@@ -251,14 +252,20 @@ void SchedulerEngine::close_stream(const EngineStreamId& id,
   // terminal, and a broken stream must not leak its slot.
   EngineWorkspace& ws = workspaces_[0];
   try {
-    state.sim.finish(stream_offline(state, ws), out);
+    with_stream_policy(
+        state, ws,
+        [&](const SchedulingPolicy& policy, PolicyWorkspace& policy_ws) {
+          state.sim.finish(policy, policy_ws, out);
+        });
   } catch (...) {
     state.in_use = false;
+    state.policy = nullptr;
     ++state.serial;
     ws.free_streams.push_back(id.index);
     throw;
   }
   state.in_use = false;
+  state.policy = nullptr;
   ++state.serial;
   ws.free_streams.push_back(id.index);
 }

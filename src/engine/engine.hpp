@@ -7,6 +7,15 @@
 /// strand, so a steady request stream stops re-warming buffers on every
 /// request.
 ///
+/// The per-request algorithm is a SchedulingPolicy object
+/// (core/policy.hpp): requests carry `const SchedulingPolicy*`, the engine
+/// pools one policy workspace per (strand, workspace key), and any
+/// user-defined policy plugs into every entry point below without engine
+/// changes. The legacy `EngineAlgorithm` enum + `DemtOptions` request
+/// fields remain as deprecated adapters the engine resolves to the
+/// built-in DemtPolicy/FlatListPolicy — bit-identical to the policy path
+/// (regression-gated by tests/test_policy.cpp) and still allocation-free.
+///
 /// Determinism contract: results depend only on the requests, never on the
 /// worker count. Requests are independent, each runs with per-request
 /// options inside its strand's workspace, and results are written at the
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "core/demt.hpp"
+#include "core/policy.hpp"
 #include "sched/flat_schedule.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
@@ -42,7 +52,11 @@
 
 namespace moldsched {
 
-/// Scheduling algorithm a request runs.
+/// Deprecated spelling of the per-request algorithm choice. New code
+/// passes a `SchedulingPolicy` object (core/policy.hpp) on the request
+/// instead; the enum remains as a thin adapter the engine resolves to the
+/// matching built-in policy (DemtPolicy / FlatListPolicy), bit-identical
+/// to the policy path and still allocation-free.
 enum class EngineAlgorithm {
   /// Full bi-criteria DEMT (paper §3.2). Highest quality; allocates inside
   /// demt_schedule (workspace-reduced).
@@ -52,25 +66,32 @@ enum class EngineAlgorithm {
   FlatList,
 };
 
-/// One off-line request: schedule `*instance` with `algorithm`. The
-/// instance is borrowed — the caller keeps it alive until the batch call
-/// returns.
+/// One off-line request: schedule `*instance` with the given policy. The
+/// instance (and the policy, when set) is borrowed — the caller keeps it
+/// alive until the batch call returns.
 struct EngineRequest {
   const Instance* instance = nullptr;
+  /// Deprecated adapter pair, used only while `policy == nullptr`.
   EngineAlgorithm algorithm = EngineAlgorithm::Demt;
   DemtOptions demt;  ///< options when algorithm == EngineAlgorithm::Demt
+  /// The per-batch algorithm as a first-class object; overrides the
+  /// enum+options pair above when set.
+  const SchedulingPolicy* policy = nullptr;
 };
 
 /// One on-line simulation request: run the batch framework for `*jobs` on
-/// an m-processor machine, with `offline_algorithm` as the per-batch
+/// an m-processor machine, with the given policy as the per-batch
 /// off-line scheduler.
 struct OnlineRequest {
   int m = 1;
   const std::vector<OnlineJob>* jobs = nullptr;
   /// Optional node reservations (nullptr = none).
   const std::vector<NodeReservation>* reservations = nullptr;
+  /// Deprecated adapter pair, used only while `policy == nullptr`.
   EngineAlgorithm offline_algorithm = EngineAlgorithm::Demt;
   DemtOptions demt;
+  /// Per-batch off-line policy (borrowed); overrides the enum pair.
+  const SchedulingPolicy* policy = nullptr;
 };
 
 struct EngineResult {
@@ -94,13 +115,17 @@ struct EngineOptions {
 
 /// Configuration of one streaming session (SchedulerEngine::open_stream):
 /// machine size, optional reservations (copied at open), and the per-batch
-/// off-line algorithm every decision of the stream runs.
+/// off-line policy every decision of the stream runs.
 struct StreamConfig {
   int m = 1;
   /// Optional node reservations (nullptr = none); copied at open.
   const std::vector<NodeReservation>* reservations = nullptr;
+  /// Deprecated adapter pair, used only while `policy == nullptr`.
   EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
   DemtOptions demt;  ///< options when offline_algorithm == Demt
+  /// Per-batch off-line policy, borrowed for the stream's whole life
+  /// (open through close); overrides the enum pair when set.
+  const SchedulingPolicy* policy = nullptr;
 };
 
 /// Handle to an open engine stream: a dense pool index plus a serial that
@@ -124,27 +149,37 @@ struct EngineStats {
 
 /// One pooled streaming session: the OnlineStream (which owns its
 /// simulator state and scratch) plus the per-stream off-line plug-in
-/// configuration. Sessions live behind unique_ptr so their addresses stay
-/// stable while the pool grows.
+/// configuration (a borrowed policy, or the deprecated enum adapter pair).
+/// Sessions live behind unique_ptr so their addresses stay stable while
+/// the pool grows.
 struct EngineStreamState {
   OnlineStream sim;
   DemtOptions demt;
   EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
+  const SchedulingPolicy* policy = nullptr;  ///< borrowed while open
   std::uint64_t serial = 0;
   bool in_use = false;
 };
 
 /// Per-strand reusable state: every buffer a request of either kind needs.
-/// The engine owns one per strand; two concurrent requests never share one.
+/// The engine owns one per strand; two concurrent requests never share
+/// one. Policy scratch is pooled per (strand, SchedulingPolicy::
+/// workspace_key): the first request a strand serves under a given key
+/// allocates its workspace, every later one reuses it — which is what
+/// keeps the steady-state serving loop (and the deprecated enum adapters,
+/// whose stack-constructed built-ins share per-class keys) allocation-free.
 struct EngineWorkspace {
-  DemtWorkspace demt;
-  ListPassWorkspace list;      ///< FlatList scratch
-  FlatPlacements flat;         ///< FlatList output
+  FlatPlacements flat;         ///< policy output staging
   OnlineWorkspace online;      ///< on-line simulator state
-  /// Per-request DEMT options for the on-line off-line plug-in; staged
-  /// here so the plug-in lambda captures one pointer (fits std::function's
-  /// small-object storage — no per-request allocation).
-  DemtOptions online_demt;
+  /// Pooled per-policy scratch, keyed by workspace_key().
+  struct PolicySlot {
+    const void* key = nullptr;
+    std::unique_ptr<PolicyWorkspace> ws;
+  };
+  std::vector<PolicySlot> policy_pool;
+  /// Fetch (or lazily create) this strand's workspace for `policy`.
+  [[nodiscard]] PolicyWorkspace& policy_workspace(
+      const SchedulingPolicy& policy);
   /// Streaming sessions, pooled: close_stream retires a session into
   /// `free_streams` with all its capacity, and the next open_stream
   /// reuses it — a warm open/feed/close cycle allocates nothing. The
@@ -154,13 +189,6 @@ struct EngineWorkspace {
   std::vector<std::unique_ptr<EngineStreamState>> streams;
   std::vector<int> free_streams;
 };
-
-/// The FlatList algorithm: give every task its min-work allotment, order by
-/// Smith ratio (weight/duration decreasing, task id tie-break), run one
-/// allocation-free list pass into `out`. Exposed for tests and for use as a
-/// flat off-line plug-in inside the on-line simulator.
-void flat_list_schedule(const Instance& instance, ListPassWorkspace& list,
-                        FlatPlacements& out);
 
 class SchedulerEngine {
  public:
@@ -185,11 +213,17 @@ class SchedulerEngine {
   void schedule_batch_into(const EngineRequest* requests, std::size_t count,
                            EngineResult* results);
 
-  /// Convenience: one algorithm/options for a whole instance set.
+  /// Convenience: one algorithm/options for a whole instance set
+  /// (deprecated enum spelling; resolves to the built-in policies).
   [[nodiscard]] std::vector<EngineResult> schedule_all(
       const std::vector<Instance>& instances,
       EngineAlgorithm algorithm = EngineAlgorithm::Demt,
       const DemtOptions& demt = {});
+
+  /// Convenience: one policy for a whole instance set (borrowed for the
+  /// duration of the call).
+  [[nodiscard]] std::vector<EngineResult> schedule_all(
+      const std::vector<Instance>& instances, const SchedulingPolicy& policy);
 
   /// Serve every on-line simulation request; results[i] answers
   /// requests[i]. Reuses the caller's result storage.

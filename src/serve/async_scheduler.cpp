@@ -52,6 +52,22 @@ AsyncOptions validated(AsyncOptions options) {
   return options;
 }
 
+/// Copy (and validate) the admission policy's lane table; no policy means
+/// FifoAdmission — one unbounded FIFO lane, the pre-policy behaviour.
+std::vector<LaneSpec> validated_lanes(const AdmissionPolicy* admission) {
+  std::vector<LaneSpec> lanes =
+      admission != nullptr ? admission->lanes() : FifoAdmission{}.lanes();
+  if (lanes.empty()) {
+    throw std::invalid_argument("AsyncScheduler: admission policy has no lanes");
+  }
+  for (const auto& lane : lanes) {
+    if (lane.weight < 1) {
+      throw std::invalid_argument("AsyncScheduler: lane weight < 1");
+    }
+  }
+  return lanes;
+}
+
 /// What a slot carries: a one-shot engine request, one stream feed, or a
 /// stream close (the final feed).
 enum class SlotKind { OneShot, StreamFeed, StreamClose };
@@ -87,6 +103,7 @@ struct AsyncScheduler::Impl {
     std::int64_t submit_ns = 0;
     std::int64_t done_ns = 0;
     SlotKind kind = SlotKind::OneShot;
+    std::uint32_t lane = 0;  ///< admission lane; owned with the slot
     /// Where the slot was routed; wait() force-flushes it. Atomic because
     /// a waiter on a recycled ticket may read it while the slot's new
     /// owner commits (the value read is then irrelevant, but the access
@@ -117,6 +134,8 @@ struct AsyncScheduler::Impl {
     int m = 1;
     EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
     DemtOptions demt;
+    const SchedulingPolicy* policy = nullptr;   ///< borrowed while open
+    std::uint32_t lane = 0;  ///< every feed/close of the stream rides it
     std::vector<NodeReservation> reservations;  ///< copied at open
     EngineStreamId engine_stream{};
     bool engine_open = false;
@@ -126,10 +145,17 @@ struct AsyncScheduler::Impl {
   /// per-strand workspaces) + reusable batch-assembly buffers. The shard
   /// itself is the PostedTask so dispatching it allocates nothing.
   struct Shard : ThreadPool::PostedTask {
-    Shard(Impl& owner, const AsyncOptions& options)
-        : impl(&owner),
-          pending(static_cast<std::size_t>(options.queue_capacity)),
-          engine(EngineOptions{1, options.keep_schedules}) {}
+    Shard(Impl& owner, const AsyncOptions& options, std::size_t num_lanes)
+        : impl(&owner), engine(EngineOptions{1, options.keep_schedules}) {
+      // One pre-allocated ring per admission lane: FIFO within a lane,
+      // weighted-fair pop across lanes. Each ring can hold every slot
+      // (admission bounds the total), so a push can only fail transiently.
+      pending.reserve(num_lanes);
+      for (std::size_t l = 0; l < num_lanes; ++l) {
+        pending.push_back(std::make_unique<MpmcQueue<std::uint32_t>>(
+            static_cast<std::size_t>(options.queue_capacity)));
+      }
+    }
 
     void run() noexcept override {
       strand_state.store(kRunning, std::memory_order_relaxed);
@@ -144,7 +170,9 @@ struct AsyncScheduler::Impl {
     }
 
     Impl* impl;
-    MpmcQueue<std::uint32_t> pending;  ///< submitted slot indices
+    /// Submitted slot indices, one ring per lane.
+    std::vector<std::unique_ptr<MpmcQueue<std::uint32_t>>> pending;
+    std::atomic<std::int64_t> pending_count{0};  ///< across all lanes
     std::atomic<std::int64_t> first_pending_ns{0};
     std::atomic<int> strand_state{kIdle};
     SchedulerEngine engine;
@@ -155,10 +183,35 @@ struct AsyncScheduler::Impl {
 
   explicit Impl(const AsyncOptions& validated_options)
       : options(validated_options),
+        lanes(validated_lanes(options.admission)),
         slots(static_cast<std::size_t>(options.queue_capacity)),
         free_slots(static_cast<std::size_t>(options.queue_capacity)),
         streams(static_cast<std::size_t>(options.max_streams)),
         free_streams(static_cast<std::size_t>(options.max_streams)) {
+    // Weighted-fair pop quotas: per round-robin round, lane l pops up to
+    // floor(max_batch * w_l / W) slots (at least 1 so a starving weight
+    // cannot round to zero service).
+    int total_weight = 0;
+    for (const auto& lane : lanes) total_weight += lane.weight;
+    lane_quota.resize(lanes.size());
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      lane_quota[l] = std::max(
+          1, options.max_batch * lanes[l].weight / total_weight);
+    }
+    lane_in_flight =
+        std::make_unique<std::atomic<std::int64_t>[]>(lanes.size());
+    lane_submitted =
+        std::make_unique<std::atomic<std::uint64_t>[]>(lanes.size());
+    lane_rejected =
+        std::make_unique<std::atomic<std::uint64_t>[]>(lanes.size());
+    lane_completed =
+        std::make_unique<std::atomic<std::uint64_t>[]>(lanes.size());
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      lane_in_flight[l].store(0, std::memory_order_relaxed);
+      lane_submitted[l].store(0, std::memory_order_relaxed);
+      lane_rejected[l].store(0, std::memory_order_relaxed);
+      lane_completed[l].store(0, std::memory_order_relaxed);
+    }
     for (std::uint32_t i = 0;
          i < static_cast<std::uint32_t>(options.max_streams); ++i) {
       free_streams.try_push(i);  // ring capacity >= max_streams
@@ -176,7 +229,7 @@ struct AsyncScheduler::Impl {
     }
     shards.reserve(static_cast<std::size_t>(options.shards));
     for (int s = 0; s < options.shards; ++s) {
-      shards.push_back(std::make_unique<Shard>(*this, options));
+      shards.push_back(std::make_unique<Shard>(*this, options, lanes.size()));
     }
     if (options.flush_after_ms > 0.0) {
       flusher = std::thread([this] { flusher_loop(); });
@@ -265,6 +318,7 @@ struct AsyncScheduler::Impl {
         slot.error.clear();
       }
       slot.done_ns = done;
+      lane_completed[slot.lane].fetch_add(1, std::memory_order_relaxed);
       slot.status.store(failed ? TicketStatus::Failed : TicketStatus::Done,
                         std::memory_order_release);
     }
@@ -302,6 +356,7 @@ struct AsyncScheduler::Impl {
         config.reservations = &entry.reservations;
         config.offline_algorithm = entry.offline_algorithm;
         config.demt = entry.demt;
+        config.policy = entry.policy;
         entry.engine_stream = shard.engine.open_stream(config);
         entry.engine_open = true;
       }
@@ -333,6 +388,7 @@ struct AsyncScheduler::Impl {
       }
     }
     slot.done_ns = now_ns();
+    lane_completed[slot.lane].fetch_add(1, std::memory_order_relaxed);
     slot.status.store(failed ? TicketStatus::Failed : TicketStatus::Done,
                       std::memory_order_release);
     publish_done(failed ? 0 : 1, failed ? 1 : 0);
@@ -347,13 +403,32 @@ struct AsyncScheduler::Impl {
   /// in-place result moves, pooled stream sessions and deliveries).
   void drain_shard(Shard& shard) {
     for (;;) {
+      // Weighted-fair pop: round-robin over the lanes, each round granting
+      // lane l up to lane_quota[l] pops (quota ∝ its weight), until the
+      // batch is full or nothing is pending. Work-conserving — an idle
+      // lane's share flows to the backlogged ones — and FIFO within each
+      // lane, which is what keeps per-stream delivery ordered.
       shard.batch_slots.clear();
+      const auto limit = static_cast<std::size_t>(options.max_batch);
       std::uint32_t index = 0;
-      while (shard.batch_slots.size() <
-                 static_cast<std::size_t>(options.max_batch) &&
-             shard.pending.try_pop(index)) {
-        shard.batch_slots.push_back(index);
+      bool progressed = true;
+      while (progressed && shard.batch_slots.size() < limit) {
+        progressed = false;
+        for (std::size_t l = 0;
+             l < shard.pending.size() && shard.batch_slots.size() < limit;
+             ++l) {
+          for (int q = 0; q < lane_quota[l] &&
+                          shard.batch_slots.size() < limit &&
+                          shard.pending[l]->try_pop(index);
+               ++q) {
+            shard.batch_slots.push_back(index);
+            progressed = true;
+          }
+        }
       }
+      shard.pending_count.fetch_sub(
+          static_cast<std::int64_t>(shard.batch_slots.size()),
+          std::memory_order_relaxed);
       if (shard.batch_slots.empty()) {
         // Racy with a concurrent submit; the flusher treats a non-empty
         // queue with no timestamp as already overdue, so a lost stamp only
@@ -393,7 +468,9 @@ struct AsyncScheduler::Impl {
       if (flusher_stop) break;
       const std::int64_t now = now_ns();
       for (auto& shard : shards) {
-        if (shard->pending.approx_size() == 0) continue;
+        if (shard->pending_count.load(std::memory_order_relaxed) <= 0) {
+          continue;
+        }
         const std::int64_t first =
             shard->first_pending_ns.load(std::memory_order_relaxed);
         if (first == 0 || now - first >= deadline_ns) {
@@ -405,7 +482,44 @@ struct AsyncScheduler::Impl {
     }
   }
 
+  /// Clamp a caller- or classifier-chosen lane into the lane table.
+  [[nodiscard]] std::uint32_t clamp_lane(int lane) const noexcept {
+    if (lane < 0) return 0;
+    if (static_cast<std::size_t>(lane) >= lanes.size()) {
+      return static_cast<std::uint32_t>(lanes.size() - 1);
+    }
+    return static_cast<std::uint32_t>(lane);
+  }
+
+  /// Per-lane admission: reserve an in-flight token in `lane`, refusing
+  /// when the lane's own queue_capacity is reached. The token is released
+  /// by take()/take_stream() (or immediately by the caller when a later
+  /// admission step fails).
+  [[nodiscard]] bool try_enter_lane(std::uint32_t lane) noexcept {
+    const int cap = lanes[lane].queue_capacity;
+    const std::int64_t in_lane =
+        lane_in_flight[lane].fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cap > 0 && in_lane > cap) {
+      lane_in_flight[lane].fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Count one rejection against `lane` and hand back the tagged refusal.
+  Ticket reject(std::uint32_t lane) noexcept {
+    stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    lane_rejected[lane].fetch_add(1, std::memory_order_relaxed);
+    return Ticket{0, 0, lane};
+  }
+
   AsyncOptions options;
+  std::vector<LaneSpec> lanes;  ///< copied from the admission policy
+  std::vector<int> lane_quota;  ///< weighted-fair pop quota per RR round
+  std::unique_ptr<std::atomic<std::int64_t>[]> lane_in_flight;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lane_submitted;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lane_rejected;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lane_completed;
   std::vector<Slot> slots;
   MpmcQueue<std::uint32_t> free_slots;
   std::vector<StreamEntry> streams;
@@ -464,18 +578,20 @@ Ticket AsyncScheduler::Impl::commit_slot(std::uint32_t slot_index,
   in_use_count.fetch_add(1, std::memory_order_relaxed);
   live_count.fetch_add(1, std::memory_order_relaxed);
   stat_submitted.fetch_add(1, std::memory_order_relaxed);
+  lane_submitted[slot.lane].fetch_add(1, std::memory_order_relaxed);
 
   Shard& shard = *shards[shard_index];
   std::int64_t no_stamp = 0;
   shard.first_pending_ns.compare_exchange_strong(no_stamp, slot.submit_ns,
                                                  std::memory_order_relaxed);
-  while (!shard.pending.try_push(slot_index)) {
+  shard.pending_count.fetch_add(1, std::memory_order_relaxed);
+  while (!shard.pending[slot.lane]->try_push(slot_index)) {
     // Unreachable by construction (ring capacity >= queue_capacity and at
     // most queue_capacity slots circulate); yield defensively.
     std::this_thread::yield();
   }
-  if (shard.pending.approx_size() >=
-      static_cast<std::size_t>(options.max_batch)) {
+  if (shard.pending_count.load(std::memory_order_relaxed) >=
+      static_cast<std::int64_t>(options.max_batch)) {
     if (activate(shard)) {
       stat_size_flushes.fetch_add(1, std::memory_order_relaxed);
     }
@@ -484,7 +600,7 @@ Ticket AsyncScheduler::Impl::commit_slot(std::uint32_t slot_index,
       stat_deadline_flushes.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  return Ticket{id, slot_index};
+  return Ticket{id, slot_index, slot.lane};
 }
 
 AsyncScheduler::AsyncScheduler(AsyncOptions options)
@@ -511,26 +627,54 @@ AsyncScheduler::~AsyncScheduler() {
 }
 
 Ticket AsyncScheduler::submit(const EngineRequest& request) {
+  const Impl& im = *impl_;
+  return submit(request, im.options.admission != nullptr
+                             ? im.options.admission->classify(request)
+                             : 0);
+}
+
+Ticket AsyncScheduler::submit(const EngineRequest& request, int lane) {
   Impl& im = *impl_;
   if (request.instance == nullptr) {
     throw std::invalid_argument("AsyncScheduler: request without instance");
   }
+  const std::uint32_t lane_index = im.clamp_lane(lane);
   if (im.stopping.load(std::memory_order_acquire)) {
-    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Ticket{};
+    return im.reject(lane_index);
+  }
+  if (!im.try_enter_lane(lane_index)) {
+    return im.reject(lane_index);
   }
   std::uint32_t slot_index = 0;
   if (!im.free_slots.try_pop(slot_index)) {
-    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Ticket{};
+    im.lane_in_flight[lane_index].fetch_sub(1, std::memory_order_relaxed);
+    return im.reject(lane_index);
   }
   Impl::Slot& slot = im.slots[slot_index];
   slot.kind = SlotKind::OneShot;
+  slot.lane = lane_index;
   slot.request = request;
   return im.commit_slot(slot_index, -1);
 }
 
+int AsyncScheduler::num_lanes() const noexcept {
+  return static_cast<int>(impl_->lanes.size());
+}
+
+const LaneSpec& AsyncScheduler::lane_spec(int lane) const {
+  return impl_->lanes.at(static_cast<std::size_t>(lane));
+}
+
 StreamTicket AsyncScheduler::open_stream(const StreamOptions& options) {
+  const Impl& im = *impl_;
+  return open_stream(options,
+                     im.options.admission != nullptr
+                         ? im.options.admission->classify_stream(options)
+                         : 0);
+}
+
+StreamTicket AsyncScheduler::open_stream(const StreamOptions& options,
+                                         int lane) {
   Impl& im = *impl_;
   if (options.m < 1) {
     throw std::invalid_argument("AsyncScheduler: stream m < 1");
@@ -559,6 +703,8 @@ StreamTicket AsyncScheduler::open_stream(const StreamOptions& options) {
   entry.m = options.m;
   entry.offline_algorithm = options.offline_algorithm;
   entry.demt = options.demt;
+  entry.policy = options.policy;
+  entry.lane = im.clamp_lane(lane);
   entry.reservations.clear();
   if (options.reservations != nullptr) {
     entry.reservations = *options.reservations;
@@ -567,7 +713,7 @@ StreamTicket AsyncScheduler::open_stream(const StreamOptions& options) {
   entry.ticket.store(id, std::memory_order_release);
   im.open_stream_count.fetch_add(1, std::memory_order_relaxed);
   im.stat_streams_opened.fetch_add(1, std::memory_order_relaxed);
-  return StreamTicket{id, index};
+  return StreamTicket{id, index, entry.lane};
 }
 
 Ticket AsyncScheduler::submit_stream(const StreamTicket& stream,
@@ -582,20 +728,29 @@ Ticket AsyncScheduler::submit_stream(const StreamTicket& stream,
     return Ticket{};
   }
   Impl::StreamEntry& entry = im.streams[stream.index];
+  // The lane comes from the caller's ticket (stamped at open_stream), not
+  // from the entry: the entry may have been recycled to a new stream, and
+  // reading its fields before the ownership check below would race the
+  // new owner's open_stream write — and would misattribute this
+  // rejection's lane stats to the new stream.
+  const std::uint32_t lane = im.clamp_lane(static_cast<int>(stream.lane));
   // A closing entry carries id | kStreamClosing, so this one comparison
   // also refuses feeds behind an in-flight close.
   if (entry.ticket.load(std::memory_order_acquire) != stream.id ||
       im.stopping.load(std::memory_order_acquire)) {
-    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Ticket{};
+    return im.reject(lane);
+  }
+  if (!im.try_enter_lane(lane)) {
+    return im.reject(lane);
   }
   std::uint32_t slot_index = 0;
   if (!im.free_slots.try_pop(slot_index)) {
-    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Ticket{};
+    im.lane_in_flight[lane].fetch_sub(1, std::memory_order_relaxed);
+    return im.reject(lane);
   }
   Impl::Slot& slot = im.slots[slot_index];
   slot.kind = SlotKind::StreamFeed;
+  slot.lane = lane;
   slot.stream_index = stream.index;
   slot.stream_ticket = stream.id;
   slot.arrivals = arrivals;
@@ -615,10 +770,15 @@ Ticket AsyncScheduler::close_stream(const StreamTicket& stream) {
     return Ticket{};
   }
   Impl::StreamEntry& entry = im.streams[stream.index];
+  // Ticket-carried lane, not entry.lane — see submit_stream.
+  const std::uint32_t lane = im.clamp_lane(static_cast<int>(stream.lane));
+  if (!im.try_enter_lane(lane)) {
+    return im.reject(lane);
+  }
   std::uint32_t slot_index = 0;
   if (!im.free_slots.try_pop(slot_index)) {
-    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Ticket{};
+    im.lane_in_flight[lane].fetch_sub(1, std::memory_order_relaxed);
+    return im.reject(lane);
   }
   // Claim the close: one CAS both verifies we still own the entry and
   // marks it closing, so a stale close racing a close + reopen can never
@@ -628,11 +788,12 @@ Ticket AsyncScheduler::close_stream(const StreamTicket& stream) {
                                             stream.id | kStreamClosing,
                                             std::memory_order_acq_rel)) {
     while (!im.free_slots.try_push(slot_index)) std::this_thread::yield();
-    im.stat_rejected.fetch_add(1, std::memory_order_relaxed);
-    return Ticket{};
+    im.lane_in_flight[lane].fetch_sub(1, std::memory_order_relaxed);
+    return im.reject(lane);
   }
   Impl::Slot& slot = im.slots[slot_index];
   slot.kind = SlotKind::StreamClose;
+  slot.lane = lane;
   slot.stream_index = stream.index;
   slot.stream_ticket = stream.id;
   slot.arrivals = nullptr;
@@ -696,6 +857,7 @@ bool AsyncScheduler::take(const Ticket& ticket, EngineResult& out) {
   slot.ticket.store(0, std::memory_order_relaxed);
   slot.status.store(TicketStatus::Invalid, std::memory_order_release);
   im.in_use_count.fetch_sub(1, std::memory_order_relaxed);
+  im.lane_in_flight[slot.lane].fetch_sub(1, std::memory_order_relaxed);
   while (!im.free_slots.try_push(ticket.slot)) {
     std::this_thread::yield();  // unreachable; see submit()
   }
@@ -718,6 +880,7 @@ bool AsyncScheduler::take_stream(const Ticket& ticket, StreamDelivery& out) {
   slot.ticket.store(0, std::memory_order_relaxed);
   slot.status.store(TicketStatus::Invalid, std::memory_order_release);
   im.in_use_count.fetch_sub(1, std::memory_order_relaxed);
+  im.lane_in_flight[slot.lane].fetch_sub(1, std::memory_order_relaxed);
   while (!im.free_slots.try_push(ticket.slot)) {
     std::this_thread::yield();  // unreachable; see submit()
   }
@@ -755,7 +918,7 @@ double AsyncScheduler::latency_seconds(const Ticket& ticket) const noexcept {
 void AsyncScheduler::flush() {
   Impl& im = *impl_;
   for (auto& shard : im.shards) {
-    if (shard->pending.approx_size() == 0) continue;
+    if (shard->pending_count.load(std::memory_order_relaxed) <= 0) continue;
     if (im.activate(*shard)) {
       im.stat_forced_flushes.fetch_add(1, std::memory_order_relaxed);
     }
@@ -803,6 +966,18 @@ AsyncStats AsyncScheduler::stats() const {
   stats.stream_feeds = im.stat_stream_feeds.load(std::memory_order_relaxed);
   stats.stream_rejected =
       im.stat_stream_rejected.load(std::memory_order_relaxed);
+  stats.lanes.resize(im.lanes.size());
+  for (std::size_t l = 0; l < im.lanes.size(); ++l) {
+    LaneStats& lane = stats.lanes[l];
+    lane.name = im.lanes[l].name;
+    lane.submitted = im.lane_submitted[l].load(std::memory_order_relaxed);
+    lane.rejected = im.lane_rejected[l].load(std::memory_order_relaxed);
+    lane.completed = im.lane_completed[l].load(std::memory_order_relaxed);
+    const std::int64_t in_flight =
+        im.lane_in_flight[l].load(std::memory_order_relaxed);
+    lane.in_flight =
+        in_flight > 0 ? static_cast<std::uint64_t>(in_flight) : 0;
+  }
   return stats;
 }
 

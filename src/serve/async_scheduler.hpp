@@ -11,7 +11,12 @@
 /// `queue_capacity` request slots. When every slot is in flight
 /// (submitted but not yet take()n), submit refuses the request with a
 /// rejected Ticket (`poll` == TicketStatus::Rejected) instead of growing
-/// a queue without bound.
+/// a queue without bound. Admission is pluggable (serve/admission.hpp):
+/// an AdmissionPolicy defines priority lanes — per-lane weight and
+/// optional per-lane in-flight bound, weighted-fair pop across lanes on
+/// each shard, FIFO within a lane — and classifies submissions that name
+/// no explicit lane. Without a policy the scheduler runs FifoAdmission
+/// (one lane), which is exactly the pre-policy behaviour.
 ///
 /// Determinism contract: a request's result is a pure function of the
 /// EngineRequest — the engine's per-request determinism (pre-forked
@@ -54,6 +59,7 @@
 #include <string>
 
 #include "engine/engine.hpp"
+#include "serve/admission.hpp"
 
 namespace moldsched {
 
@@ -73,10 +79,13 @@ enum class TicketStatus {
 [[nodiscard]] const char* to_string(TicketStatus status) noexcept;
 
 /// Handle to one submitted request. Value type, freely copyable; id 0
-/// means the request was rejected at admission.
+/// means the request was rejected at admission. `lane` tags the admission
+/// lane the request was classified into (set on rejected tickets too, so
+/// a caller can attribute the refusal).
 struct Ticket {
   std::uint64_t id = 0;    ///< unique per accepted request; 0 = rejected
   std::uint32_t slot = 0;  ///< slot index inside the scheduler's table
+  std::uint32_t lane = 0;  ///< admission lane the request rides
   [[nodiscard]] bool accepted() const noexcept { return id != 0; }
 };
 
@@ -104,6 +113,22 @@ struct AsyncOptions {
   /// Maximum concurrently open streams; open_stream returns a rejected
   /// StreamTicket beyond it.
   int max_streams = 64;
+  /// Admission policy (serve/admission.hpp), borrowed for the scheduler's
+  /// whole life: its lane table is copied at construction and its
+  /// classify hooks run on every submit without an explicit lane.
+  /// nullptr = FifoAdmission (one lane, pure FIFO — the pre-policy
+  /// behaviour, bit-compatible).
+  const AdmissionPolicy* admission = nullptr;
+};
+
+/// Per-lane cumulative counters (one row per admission lane, in lane
+/// order) inside AsyncStats.
+struct LaneStats {
+  std::string name;              ///< LaneSpec::name
+  std::uint64_t submitted = 0;   ///< accepted into this lane
+  std::uint64_t rejected = 0;    ///< refused at admission in this lane
+  std::uint64_t completed = 0;   ///< reached Done/Failed in this lane
+  std::uint64_t in_flight = 0;   ///< accepted, not yet take()n
 };
 
 /// Cumulative counters; read through AsyncScheduler::stats().
@@ -123,22 +148,30 @@ struct AsyncStats {
   std::uint64_t streams_closed = 0;    ///< executed close_stream requests
   std::uint64_t stream_feeds = 0;      ///< accepted submit_stream calls
   std::uint64_t stream_rejected = 0;   ///< open_stream refusals (table full)
+  std::vector<LaneStats> lanes;        ///< per-lane rows, in lane order
 };
 
 /// Per-stream configuration for open_stream. The reservations vector is
-/// copied at open; everything else is plain data.
+/// copied at open; everything else is plain data (the policy, when set,
+/// is borrowed for the stream's whole life).
 struct StreamOptions {
   int m = 1;                  ///< machine size the stream schedules onto
   const std::vector<NodeReservation>* reservations = nullptr;
+  /// Deprecated adapter pair, used only while `policy == nullptr`.
   EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
   DemtOptions demt;           ///< options when offline_algorithm == Demt
+  /// Per-batch off-line policy of every decision this stream makes;
+  /// overrides the enum pair when set.
+  const SchedulingPolicy* policy = nullptr;
 };
 
 /// Handle to one open stream. Value type, freely copyable; id 0 means
-/// open_stream refused (stream table full or scheduler stopping).
+/// open_stream refused (stream table full or scheduler stopping). `lane`
+/// is the admission lane every feed/close of the stream rides.
 struct StreamTicket {
   std::uint64_t id = 0;     ///< unique per accepted stream; 0 = rejected
   std::uint32_t index = 0;  ///< entry inside the scheduler's stream table
+  std::uint32_t lane = 0;   ///< admission lane of the stream's feeds
   [[nodiscard]] bool accepted() const noexcept { return id != 0; }
 };
 
@@ -153,12 +186,25 @@ class AsyncScheduler {
   AsyncScheduler(const AsyncScheduler&) = delete;
   AsyncScheduler& operator=(const AsyncScheduler&) = delete;
 
-  /// Non-blocking admission. Returns a rejected Ticket (accepted() ==
-  /// false) when queue_capacity requests are already in flight. The
-  /// request is copied; the Instance it points at is borrowed and must
-  /// stay alive until the ticket is terminal. Throws std::invalid_argument
-  /// on a request without an instance.
+  /// Non-blocking admission into the lane the admission policy picks
+  /// (classify; lane 0 without a policy). Returns a rejected Ticket
+  /// (accepted() == false) when queue_capacity requests are already in
+  /// flight or the lane's own queue_capacity is. The request is copied;
+  /// the Instance (and SchedulingPolicy, when set) it points at is
+  /// borrowed and must stay alive until the ticket is terminal. Throws
+  /// std::invalid_argument on a request without an instance.
   [[nodiscard]] Ticket submit(const EngineRequest& request);
+
+  /// Same, naming the admission lane explicitly (clamped to the lane
+  /// table). Explicit lane beats classify.
+  [[nodiscard]] Ticket submit(const EngineRequest& request, int lane);
+
+  /// Admission lanes this scheduler serves (>= 1; copied from the policy
+  /// at construction).
+  [[nodiscard]] int num_lanes() const noexcept;
+
+  /// The lane table entry; throws std::out_of_range on a bad index.
+  [[nodiscard]] const LaneSpec& lane_spec(int lane) const;
 
   /// Non-blocking status check.
   [[nodiscard]] TicketStatus poll(const Ticket& ticket) const noexcept;
@@ -174,11 +220,16 @@ class AsyncScheduler {
   bool take(const Ticket& ticket, EngineResult& out);
 
   /// Open a streaming session (paper §5 job mix), pinned to one shard for
-  /// its whole life. Non-blocking: returns a rejected StreamTicket when
-  /// max_streams sessions are open or the scheduler is stopping. Throws
-  /// std::invalid_argument on a bad configuration (m < 1, bad
-  /// reservation).
+  /// its whole life; every feed/close of the stream rides the lane the
+  /// admission policy picks (classify_stream). Non-blocking: returns a
+  /// rejected StreamTicket when max_streams sessions are open or the
+  /// scheduler is stopping. Throws std::invalid_argument on a bad
+  /// configuration (m < 1, bad reservation).
   [[nodiscard]] StreamTicket open_stream(const StreamOptions& options);
+
+  /// Same, naming the stream's admission lane explicitly (clamped).
+  [[nodiscard]] StreamTicket open_stream(const StreamOptions& options,
+                                         int lane);
 
   /// Enqueue a feed: `count` arrivals plus the stream's new watermark
   /// (same per-stream ordering/validation contract as OnlineStream::feed;

@@ -114,6 +114,14 @@ FlatOfflineScheduler wrap_offline(OfflineScheduler offline) {
   };
 }
 
+FlatOfflineScheduler policy_offline(const SchedulingPolicy& policy,
+                                    PolicyWorkspace& ws) {
+  const SchedulingPolicy* p = &policy;  // two-pointer capture: stays in SBO
+  PolicyWorkspace* w = &ws;
+  return [p, w](const Instance& batch, OnlineWorkspace& /*ows*/,
+                FlatPlacements& out) { p->schedule_into(batch, *w, out); };
+}
+
 void online_decide_batch(int m, const OnlineJob* jobs,
                          const std::vector<NodeReservation>& reservations,
                          const FlatOfflineScheduler& offline,
@@ -122,56 +130,19 @@ void online_decide_batch(int m, const OnlineJob* jobs,
   double& clock = now;
   // Determine the available processors against reservations: start from
   // "everything free", schedule, check which reservations the batch
-  // overlaps, remove those processors and retry until stable.
+  // overlaps, remove those processors and retry until stable — the shared
+  // reservation_fixpoint loop, proposing the batch's own makespan as the
+  // window. On return ws.batch holds the settled batch-local placements
+  // and ws.free_procs the processors the batch may use.
   ws.blocked.assign(static_cast<std::size_t>(m), 0);
-  // Iteration budget: between time jumps the blocked set only grows
-  // (<= m + 1 iterations per epoch), and every jump advances the clock
-  // past a distinct reservation end (<= reservations.size() jumps), so the
-  // bound is unreachable — exhausting it means the lift below would use
-  // a stale batch schedule, so it is an error, never a fallthrough.
-  const int max_iterations =
-      (static_cast<int>(reservations.size()) + 1) * (m + 2);
-  bool settled = false;
-  for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    ws.free_procs.clear();
-    for (int p = 0; p < m; ++p) {
-      if (!ws.blocked[static_cast<std::size_t>(p)]) {
-        ws.free_procs.push_back(p);
-      }
-    }
-    const int avail = static_cast<int>(ws.free_procs.size());
-    if (avail == 0) {
-      // Fully reserved at this instant: jump past the earliest blocking
-      // reservation end and rebuild the batch window.
-      double jump = std::numeric_limits<double>::infinity();
-      for (const auto& r : reservations) {
-        if (r.finish > clock) jump = std::min(jump, r.finish);
-      }
-      if (!std::isfinite(jump)) {
-        throw std::logic_error(
-            "online_batch_schedule: machine permanently fully reserved");
-      }
-      clock = jump;
-      online_blocked_procs_into(m, reservations, clock, clock, ws.blocked);
-      continue;
-    }
-    rebuild_batch_instance(jobs, ws.batch_jobs, avail, ws.batch_instance);
-    offline(ws.batch_instance, ws, ws.batch);
-    const double horizon = clock + ws.batch.cmax();
-    online_blocked_procs_into(m, reservations, clock, horizon,
-                              ws.new_blocked);
-    if (ws.new_blocked == ws.blocked) {  // fixpoint: no new conflicts
-      settled = true;
-      break;
-    }
-    for (std::size_t p = 0; p < ws.new_blocked.size(); ++p) {
-      if (ws.new_blocked[p]) ws.blocked[p] = 1;  // monotone => converges
-    }
-  }
-  if (!settled) {
-    throw std::logic_error(
-        "online_batch_schedule: reservation fixpoint failed to converge");
-  }
+  (void)reservation_fixpoint(
+      m, reservations, ws, clock,
+      [&](int avail) {
+        rebuild_batch_instance(jobs, ws.batch_jobs, avail, ws.batch_instance);
+        offline(ws.batch_instance, ws, ws.batch);
+        return ws.batch.cmax();
+      },
+      "online_batch_schedule");
 
   // Lift the batch placements into global time / global processor ids.
   for (std::size_t b = 0; b < ws.batch_jobs.size(); ++b) {
@@ -239,6 +210,15 @@ void online_batch_schedule_into(
     }
     online_decide_batch(m, jobs.data(), reservations, offline, ws, now, out);
   }
+}
+
+void online_batch_schedule_into(
+    int m, const std::vector<OnlineJob>& jobs, const SchedulingPolicy& policy,
+    PolicyWorkspace& policy_ws,
+    const std::vector<NodeReservation>& reservations, OnlineWorkspace& ws,
+    FlatOnlineResult& out) {
+  online_batch_schedule_into(m, jobs, policy_offline(policy, policy_ws),
+                             reservations, ws, out);
 }
 
 OnlineResult online_batch_schedule(

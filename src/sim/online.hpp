@@ -25,11 +25,15 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "sched/flat_schedule.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
@@ -90,6 +94,14 @@ using FlatOfflineScheduler = std::function<void(
 /// bit-identical to the object path).
 [[nodiscard]] FlatOfflineScheduler wrap_offline(OfflineScheduler offline);
 
+/// Adapt a SchedulingPolicy (+ a workspace it made) to the flat plug-in
+/// form. Captures two pointers, so the returned std::function stays in its
+/// small-object storage — adapting a policy per call allocates nothing.
+/// Both referents are borrowed for the adapter's lifetime, and `ws` must
+/// not be shared with a concurrent call.
+[[nodiscard]] FlatOfflineScheduler policy_offline(
+    const SchedulingPolicy& policy, PolicyWorkspace& ws);
+
 /// Flat-path result; buffers keep capacity across runs when reused.
 struct FlatOnlineResult {
   FlatPlacements schedule;          ///< global placements, indexed like jobs
@@ -127,6 +139,63 @@ void online_blocked_procs_into(
     int m, const std::vector<NodeReservation>& reservations, double start,
     double finish, std::vector<std::uint8_t>& blocked);
 
+/// Reservation fixpoint shared by the batch decision (`online_decide_batch`)
+/// and the streaming divisible drain (sim/stream.cpp): starting from the
+/// caller-initialised `ws.blocked` flags, repeatedly build `ws.free_procs`,
+/// ask `propose(avail)` for the tentative window length on that free set
+/// (the batch path schedules the batch into `ws.batch` and returns its
+/// cmax; the drain sizes a divisible-only window), and grow the blocked set
+/// by every reservation intersecting [now, now + window) until stable.
+/// When the machine is fully reserved at `now`, `now` jumps past the
+/// earliest blocking reservation end and the window rebuilds. Returns the
+/// settled window; afterwards `ws.free_procs` holds the settled free set
+/// and whatever `propose` computed last is valid. The iteration budget is
+/// unreachable by the monotone-growth argument (between jumps the blocked
+/// set only grows, and every jump passes a distinct reservation end), so
+/// exhausting it throws std::logic_error — messages prefixed `who` —
+/// rather than letting a caller use a stale proposal.
+template <typename ProposeWindow>
+double reservation_fixpoint(int m,
+                            const std::vector<NodeReservation>& reservations,
+                            OnlineWorkspace& ws, double& now,
+                            const ProposeWindow& propose, const char* who) {
+  const int max_iterations =
+      (static_cast<int>(reservations.size()) + 1) * (m + 2);
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    ws.free_procs.clear();
+    for (int p = 0; p < m; ++p) {
+      if (!ws.blocked[static_cast<std::size_t>(p)]) {
+        ws.free_procs.push_back(p);
+      }
+    }
+    const int avail = static_cast<int>(ws.free_procs.size());
+    if (avail == 0) {
+      // Fully reserved at this instant: jump past the earliest blocking
+      // reservation end and rebuild the window.
+      double jump = std::numeric_limits<double>::infinity();
+      for (const auto& r : reservations) {
+        if (r.finish > now) jump = std::min(jump, r.finish);
+      }
+      if (!std::isfinite(jump)) {
+        throw std::logic_error(std::string(who) +
+                               ": machine permanently fully reserved");
+      }
+      now = jump;
+      online_blocked_procs_into(m, reservations, now, now, ws.blocked);
+      continue;
+    }
+    const double window = propose(avail);
+    online_blocked_procs_into(m, reservations, now, now + window,
+                              ws.new_blocked);
+    if (ws.new_blocked == ws.blocked) return window;  // fixpoint
+    for (std::size_t p = 0; p < ws.new_blocked.size(); ++p) {
+      if (ws.new_blocked[p]) ws.blocked[p] = 1;  // monotone => converges
+    }
+  }
+  throw std::logic_error(std::string(who) +
+                         ": reservation fixpoint failed to converge");
+}
+
 /// Advanced hook shared by the flat off-line loop and the streaming core
 /// (sim/stream.hpp): decide ONE batch of the framework. On entry
 /// `ws.batch_jobs` names the batch's jobs (indices into `jobs`, all with
@@ -153,6 +222,17 @@ void online_decide_batch(int m, const OnlineJob* jobs,
 void online_batch_schedule_into(
     int m, const std::vector<OnlineJob>& jobs,
     const FlatOfflineScheduler& offline,
+    const std::vector<NodeReservation>& reservations, OnlineWorkspace& ws,
+    FlatOnlineResult& out);
+
+/// Policy form of the flat core: every batch decision runs
+/// `policy.schedule_into` inside `policy_ws` (one workspace per strand,
+/// from policy.make_workspace()). Bit-identical to passing the equivalent
+/// FlatOfflineScheduler; adds no per-call allocation beyond the plug-in's
+/// own.
+void online_batch_schedule_into(
+    int m, const std::vector<OnlineJob>& jobs, const SchedulingPolicy& policy,
+    PolicyWorkspace& policy_ws,
     const std::vector<NodeReservation>& reservations, OnlineWorkspace& ws,
     FlatOnlineResult& out);
 

@@ -176,6 +176,17 @@ void OnlineStream::feed(const StreamArrival* arrivals, std::size_t count,
   advance(false, offline, out);
 }
 
+void OnlineStream::feed(const StreamArrival* arrivals, std::size_t count,
+                        double watermark, const SchedulingPolicy& policy,
+                        PolicyWorkspace& policy_ws, StreamDelivery& out) {
+  feed(arrivals, count, watermark, policy_offline(policy, policy_ws), out);
+}
+
+void OnlineStream::finish(const SchedulingPolicy& policy,
+                          PolicyWorkspace& policy_ws, StreamDelivery& out) {
+  finish(policy_offline(policy, policy_ws), out);
+}
+
 void OnlineStream::finish(const FlatOfflineScheduler& offline,
                           StreamDelivery& out) {
   out.clear();
@@ -335,55 +346,22 @@ void OnlineStream::drain_divisible(StreamDelivery& out) {
     double total = 0.0;
     for (const auto& job : div_batch_) total += job.work;
 
-    // Reservation fixpoint over the drain window [now_, now_ + L): L grows
-    // as processors drop out, the blocked set only grows, so it converges
-    // exactly like a batch decision.
+    // Reservation fixpoint over the drain window [now_, now_ + L) — the
+    // same shared loop a batch decision runs, proposing a divisible-only
+    // window instead of a batch makespan: L grows as processors drop out,
+    // the blocked set only grows, so it converges exactly like a batch.
+    // The window is floored at kWorkEps: on a wide machine a tiny
+    // remainder could otherwise produce a window below the filler's 1e-12
+    // hole-length cutoff, and a zero-progress round would spin the drain
+    // to its round budget instead of finishing.
     online_blocked_procs_into(m_, reservations_, now_, now_, ws_.blocked);
-    const int max_iterations =
-        (static_cast<int>(reservations_.size()) + 1) * (m_ + 2);
-    bool settled = false;
-    double window = 0.0;
-    for (int iteration = 0; iteration < max_iterations; ++iteration) {
-      ws_.free_procs.clear();
-      for (int p = 0; p < m_; ++p) {
-        if (!ws_.blocked[static_cast<std::size_t>(p)]) {
-          ws_.free_procs.push_back(p);
-        }
-      }
-      const int avail = static_cast<int>(ws_.free_procs.size());
-      if (avail == 0) {
-        double jump = std::numeric_limits<double>::infinity();
-        for (const auto& r : reservations_) {
-          if (r.finish > now_) jump = std::min(jump, r.finish);
-        }
-        if (!std::isfinite(jump)) {
-          throw std::logic_error(
-              "OnlineStream: machine permanently fully reserved");
-        }
-        now_ = jump;
-        online_blocked_procs_into(m_, reservations_, now_, now_, ws_.blocked);
-        continue;
-      }
-      // Floor the window at kWorkEps: on a wide machine a tiny remainder
-      // could otherwise produce a window below the filler's 1e-12
-      // hole-length cutoff, and a zero-progress round would spin the
-      // drain to its round budget instead of finishing.
-      window = std::max(
-          total / static_cast<double>(avail) * (1.0 + 1e-9), kWorkEps);
-      online_blocked_procs_into(m_, reservations_, now_, now_ + window,
-                         ws_.new_blocked);
-      if (ws_.new_blocked == ws_.blocked) {
-        settled = true;
-        break;
-      }
-      for (std::size_t p = 0; p < ws_.new_blocked.size(); ++p) {
-        if (ws_.new_blocked[p]) ws_.blocked[p] = 1;
-      }
-    }
-    if (!settled) {
-      throw std::logic_error(
-          "OnlineStream: drain reservation fixpoint failed to converge");
-    }
+    const double window = reservation_fixpoint(
+        m_, reservations_, ws_, now_,
+        [&](int avail) {
+          return std::max(
+              total / static_cast<double>(avail) * (1.0 + 1e-9), kWorkEps);
+        },
+        "OnlineStream");
 
     empty_batch_.reset(0);
     fill_idle_with_divisible_into(

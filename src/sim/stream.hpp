@@ -134,10 +134,22 @@ class OnlineStream {
             double watermark, const FlatOfflineScheduler& offline,
             StreamDelivery& out);
 
+  /// Policy form of feed: every batch decision runs `policy.schedule_into`
+  /// inside `policy_ws` (a workspace the policy made; one per stream
+  /// strand). Bit-identical to the plug-in form, allocation-free beyond
+  /// what the policy itself allocates.
+  void feed(const StreamArrival* arrivals, std::size_t count,
+            double watermark, const SchedulingPolicy& policy,
+            PolicyWorkspace& policy_ws, StreamDelivery& out);
+
   /// Close the stream: decide every remaining batch, drain leftover
   /// divisible work, and deliver with final_delivery == true. A broken
   /// stream closes quietly with an empty final delivery.
   void finish(const FlatOfflineScheduler& offline, StreamDelivery& out);
+
+  /// Policy form of finish (see the policy feed overload).
+  void finish(const SchedulingPolicy& policy, PolicyWorkspace& policy_ws,
+              StreamDelivery& out);
 
   /// True while the stream accepts feeds (open and not yet finished).
   [[nodiscard]] bool is_open() const noexcept { return open_ && !finished_; }
