@@ -67,10 +67,20 @@ JSON output schema (BENCH_engine.json)
       {"path": "online_sim_demt_offline",     "allocs_per_request": float}]
   }
   "allocs_per_request" counts operator-new calls per request once the
-  per-strand workspaces are warm; engine_flatlist_metrics_only must be 0.
+  per-strand workspaces are warm; engine_flatlist_metrics_only must be 0,
+  and at the default workload shape (requests >= 48, n=60, m=32,
+  8 shuffles) engine_demt_with_schedule must stay at or under 1240 —
+  the schedule-materialisation budget pinned in docs/BENCHMARKS.md
+  (~1233 recorded; the process exits non-zero above the ceiling, so a
+  regression that starts allocating per shuffle or per task fails CI).
 Full schema reference and recorded baselines for every BENCH_*.json
 report: docs/BENCHMARKS.md.
 )";
+
+/// Alloc ceiling for the DEMT keep_schedules path at the default workload
+/// shape. Measured 1232.58 allocs/request; the slack covers run-to-run
+/// jitter from pool-thread scheduling, not growth.
+constexpr double kDemtScheduleAllocCeiling = 1240.0;
 
 bool results_identical(const std::vector<EngineResult>& a,
                        const std::vector<EngineResult>& b) {
@@ -335,6 +345,23 @@ int main(int argc, char** argv) {
   if (!all_identical) {
     std::cerr << "ERROR: results differed across worker counts\n";
     return 1;
+  }
+  // Alloc-ceiling gate: the DEMT keep_schedules path is allowed its
+  // materialisation budget and nothing more. Only meaningful at the
+  // default workload shape (the ceiling scales with n and shuffles) and
+  // with enough requests to amortise warm-up; sanitizer builds report -1
+  // and skip.
+  if (kAllocHookEnabled && num_requests >= 48 && n == 60 && m == 32 &&
+      shuffles == 8) {
+    for (const auto& r : alloc_rows) {
+      if (r.path == "engine_demt_with_schedule" &&
+          r.allocs_per_request > kDemtScheduleAllocCeiling) {
+        std::cerr << strfmt(
+            "ERROR: %s allocated %.2f/request, ceiling %.2f\n",
+            r.path.c_str(), r.allocs_per_request, kDemtScheduleAllocCeiling);
+        return 1;
+      }
+    }
   }
   return 0;
 }

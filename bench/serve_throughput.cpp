@@ -22,6 +22,8 @@
 #include "alloc_hook.hpp"
 #include "engine/engine.hpp"
 #include "serve/async_scheduler.hpp"
+#include "sim/online.hpp"
+#include "sim/stream.hpp"
 #include "util/cli.hpp"
 #include "util/strfmt.hpp"
 #include "util/thread_pool.hpp"
@@ -57,6 +59,7 @@ Flags
   --lanes a,b,c     priority-lane weights (>= 2 lanes)         [3,1]
   --shuffles N      DEMT shuffle candidates per request        [8]
   --seed S          base RNG seed                              [20040627]
+  --faults S        chaos-smoke fault-plan seed                [= --seed]
   --quick           small preset (24 requests, 2 reps)
   --json PATH       JSON report path ("" disables)             [BENCH_serve.json]
   --help            this text
@@ -65,11 +68,20 @@ The BENCH_serve.json schema (and every other BENCH_*.json schema) is
 documented in docs/BENCHMARKS.md; the serving architecture and its
 determinism/allocation contracts in docs/SERVING.md.
 
+The chaos-smoke section always runs: a seeded FaultPlan (engine throws,
+slow batches, shard deaths — scripted points plus random rates keyed by
+--faults) over one-shot traffic with bounded retry and two live streams.
+Every accepted ticket must reach a terminal state and be taken exactly
+once (nothing lost, nothing duplicated), and each stream's deliveries —
+including any migrated via checkpoint off a dead shard — must replay the
+off-line simulator bit-identically.
+
 Exit status: non-zero when any async result differs from the synchronous
-reference (enum or policy-object path), or when the steady-state
-metrics-only FlatList path with priority lanes active allocates
-(allocation counting is compiled out under AddressSanitizer and reported
-as -1: sanitized builds gate determinism and admission only).
+reference (enum or policy-object path), when the chaos-smoke run loses,
+duplicates, or mis-delivers a request or stream feed, or when the
+steady-state metrics-only FlatList path with priority lanes active
+allocates (allocation counting is compiled out under AddressSanitizer and
+reported as -1: sanitized builds gate determinism and admission only).
 )";
 
 struct Percentiles {
@@ -456,6 +468,195 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- chaos smoke: seeded faults, retry, failover, stream migration ---
+  // A deterministic FaultPlan over one-shot traffic plus two pinned
+  // streams. The gate is loss accounting: every accepted ticket reaches a
+  // terminal state and is taken exactly once, and every stream replays
+  // the off-line simulator bit-identically even when its shard dies
+  // mid-tape and the session migrates via checkpoint. The watchdog stays
+  // off here on purpose — watchdog failover sheds queued stream feeds (a
+  // stuck strand owns the engine session), which is a documented
+  // degradation, not the loss-free death-failover path this gate pins.
+  struct FaultRecoveryReport {
+    std::uint64_t chaos_seed = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t failed_over = 0;
+    std::uint64_t shards_failed = 0;
+    std::uint64_t streams_migrated = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t duplicated = 0;
+    bool streams_identical = true;
+  };
+  FaultRecoveryReport chaos;
+  {
+    chaos.chaos_seed = static_cast<std::uint64_t>(
+        args.get_int("faults", static_cast<std::int64_t>(seed)));
+    constexpr int kChaosShards = 4;
+    constexpr int kChaosStreams = 2;
+    const std::size_t chunk = 4;
+
+    // Per-stream tapes (reps chunks each) and their off-line references.
+    const OfflineScheduler offline = [](const Instance& batch) {
+      ListPassWorkspace list;
+      FlatPlacements flat;
+      flat_list_schedule(batch, list, flat);
+      return flat.to_schedule(batch.procs());
+    };
+    std::vector<std::vector<OnlineJob>> tapes(kChaosStreams);
+    std::vector<OnlineResult> stream_reference;
+    Rng stream_rng(chaos.chaos_seed ^ 0x53545245414DULL);  // "STREAM"
+    for (int s = 0; s < kChaosStreams; ++s) {
+      double release = 0.0;
+      for (std::size_t j = 0; j < chunk * static_cast<std::size_t>(reps);
+           ++j) {
+        Instance tmp =
+            generate_instance(WorkloadFamily::Mixed, 1, m, stream_rng);
+        tapes[static_cast<std::size_t>(s)].push_back(
+            OnlineJob{tmp.task(0), release});
+        release += stream_rng.uniform(0.05, 1.0);
+      }
+      stream_reference.push_back(online_batch_schedule_reference(
+          m, tapes[static_cast<std::size_t>(s)], offline));
+    }
+
+    AsyncOptions options;
+    options.shards = kChaosShards;
+    options.max_batch = max_batch;
+    options.flush_after_ms = flush_ms;
+    options.queue_capacity = std::max(capacity, num_requests);
+    options.keep_schedules = false;
+    options.retry = RetryPolicy{4, 0.1};
+    options.faults.seed = chaos.chaos_seed;
+    options.faults.throw_rate = 0.10;
+    options.faults.stall_rate = 0.03;
+    options.faults.death_rate = 0.02;
+    options.faults.stall_ms = 2.0;
+    // Scripted floor under the random rates: at least one throw, one
+    // stall, and one death fire every run, whatever the seed draws.
+    options.faults.points.push_back(
+        FaultPoint{FaultKind::EngineThrow, -1, 0, 0.0});
+    options.faults.points.push_back(
+        FaultPoint{FaultKind::SlowBatch, 2, 1, 2.0});
+    options.faults.points.push_back(
+        FaultPoint{FaultKind::ShardDeath, 1, 2, 0.0});
+    AsyncScheduler async(options);
+
+    std::vector<StreamTicket> chaos_streams;
+    std::vector<std::vector<double>> completions(kChaosStreams);
+    std::vector<int> next_job(kChaosStreams, 0);
+    for (int s = 0; s < kChaosStreams; ++s) {
+      StreamOptions stream_options;
+      stream_options.m = m;
+      chaos_streams.push_back(async.open_stream(stream_options));
+      if (!chaos_streams.back().accepted()) chaos.streams_identical = false;
+    }
+    StreamDelivery delivery;
+    EngineResult result;
+    std::vector<Ticket> tickets;
+    for (int r = 0; r < reps; ++r) {
+      // One feed per stream per round (waited, so per-stream ordering and
+      // the loss accounting stay exact), then a full one-shot round.
+      for (int s = 0; s < kChaosStreams; ++s) {
+        const auto& jobs = tapes[static_cast<std::size_t>(s)];
+        const std::size_t first = static_cast<std::size_t>(r) * chunk;
+        const std::size_t last = std::min(jobs.size(), first + chunk);
+        std::vector<StreamArrival> arrivals;
+        for (std::size_t j = first; j < last; ++j) {
+          arrivals.push_back(moldable_arrival(jobs[j].task, jobs[j].release));
+        }
+        const double watermark =
+            last < jobs.size() ? jobs[last].release : jobs.back().release;
+        const Ticket feed =
+            async.submit_stream(chaos_streams[static_cast<std::size_t>(s)],
+                                arrivals.data(), arrivals.size(), watermark);
+        if (!feed.accepted() || async.wait(feed) != TicketStatus::Done ||
+            !async.take_stream(feed, delivery)) {
+          ++chaos.lost;
+          continue;
+        }
+        if (delivery.first_job != next_job[static_cast<std::size_t>(s)]) {
+          chaos.streams_identical = false;
+        }
+        next_job[static_cast<std::size_t>(s)] += delivery.num_jobs();
+        auto& got = completions[static_cast<std::size_t>(s)];
+        got.insert(got.end(), delivery.completion.begin(),
+                   delivery.completion.end());
+      }
+      tickets.clear();
+      for (const auto& request : flat_requests) {
+        const Ticket ticket = async.submit(request);
+        if (ticket.accepted()) tickets.push_back(ticket);
+      }
+      for (const Ticket& ticket : tickets) {
+        const TicketStatus status = async.wait(ticket, 30000.0);
+        if (status == TicketStatus::Done) {
+          ++chaos.done;
+        } else if (status == TicketStatus::Failed) {
+          ++chaos.failed;  // retry exhausted: terminal and accounted, not lost
+        } else {
+          ++chaos.lost;
+          continue;
+        }
+        if (!async.take(ticket, result)) ++chaos.lost;
+        if (async.take(ticket, result) ||
+            async.poll(ticket) != TicketStatus::Invalid) {
+          ++chaos.duplicated;
+        }
+      }
+    }
+    for (int s = 0; s < kChaosStreams; ++s) {
+      const Ticket close =
+          async.close_stream(chaos_streams[static_cast<std::size_t>(s)]);
+      if (!close.accepted() || async.wait(close) != TicketStatus::Done ||
+          !async.take_stream(close, delivery)) {
+        ++chaos.lost;
+        continue;
+      }
+      next_job[static_cast<std::size_t>(s)] += delivery.num_jobs();
+      auto& got = completions[static_cast<std::size_t>(s)];
+      got.insert(got.end(), delivery.completion.begin(),
+                 delivery.completion.end());
+      const OnlineResult& ref = stream_reference[static_cast<std::size_t>(s)];
+      if (next_job[static_cast<std::size_t>(s)] !=
+              static_cast<int>(tapes[static_cast<std::size_t>(s)].size()) ||
+          got != ref.completion || delivery.cmax != ref.cmax ||
+          delivery.weighted_completion_sum != ref.weighted_completion_sum) {
+        chaos.streams_identical = false;
+      }
+    }
+    const AsyncStats stats = async.stats();
+    chaos.submitted = stats.submitted;
+    chaos.retried = stats.retried;
+    chaos.failed_over = stats.failed_over;
+    chaos.shards_failed = stats.shards_failed;
+    chaos.streams_migrated = stats.streams_migrated;
+    chaos.faults_injected = stats.faults_injected;
+    const bool chaos_ok =
+        chaos.lost == 0 && chaos.duplicated == 0 && chaos.streams_identical;
+    all_ok &= chaos_ok;
+    std::cout << strfmt(
+        "\n# chaos smoke (seed %llu, %d shards): %llu faults injected, "
+        "%llu shard deaths, %llu streams migrated, %llu retried, "
+        "%llu failed over\n"
+        "#   one-shots: %llu done, %llu failed | lost %llu, duplicated "
+        "%llu | streams bit-identical: %s -> %s\n",
+        static_cast<unsigned long long>(chaos.chaos_seed), kChaosShards,
+        static_cast<unsigned long long>(chaos.faults_injected),
+        static_cast<unsigned long long>(chaos.shards_failed),
+        static_cast<unsigned long long>(chaos.streams_migrated),
+        static_cast<unsigned long long>(chaos.retried),
+        static_cast<unsigned long long>(chaos.failed_over),
+        static_cast<unsigned long long>(chaos.done),
+        static_cast<unsigned long long>(chaos.failed),
+        static_cast<unsigned long long>(chaos.lost),
+        static_cast<unsigned long long>(chaos.duplicated),
+        chaos.streams_identical ? "yes" : "NO", chaos_ok ? "ok" : "FAIL");
+  }
+
   // --- steady-state allocations: metrics-only FlatList path with the
   // --- priority lanes active (the acceptance gate: lanes must not cost
   // --- an allocation) -------------------------------------------------
@@ -573,6 +774,25 @@ int main(int argc, char** argv) {
           l + 1 < lane_admission_rows.size() ? "," : "");
     }
     out << "  ]},\n";
+    out << strfmt(
+        "  \"fault_recovery\": {\"seed\": %llu, \"submitted\": %llu, "
+        "\"done\": %llu, \"failed\": %llu, \"retried\": %llu, "
+        "\"failed_over\": %llu, \"shards_failed\": %llu, "
+        "\"streams_migrated\": %llu, \"faults_injected\": %llu, "
+        "\"lost\": %llu, \"duplicated\": %llu, "
+        "\"streams_identical\": %s},\n",
+        static_cast<unsigned long long>(chaos.chaos_seed),
+        static_cast<unsigned long long>(chaos.submitted),
+        static_cast<unsigned long long>(chaos.done),
+        static_cast<unsigned long long>(chaos.failed),
+        static_cast<unsigned long long>(chaos.retried),
+        static_cast<unsigned long long>(chaos.failed_over),
+        static_cast<unsigned long long>(chaos.shards_failed),
+        static_cast<unsigned long long>(chaos.streams_migrated),
+        static_cast<unsigned long long>(chaos.faults_injected),
+        static_cast<unsigned long long>(chaos.lost),
+        static_cast<unsigned long long>(chaos.duplicated),
+        chaos.streams_identical ? "true" : "false");
     out << strfmt(
         "  \"allocs\": [\n    {\"path\": \"serve_flatlist_metrics_only\", "
         "\"lanes_active\": %d, \"allocs_per_request\": %.2f}\n  ]\n}\n",

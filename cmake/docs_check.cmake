@@ -7,9 +7,9 @@
 #     docs/SERVING.md — the serving handbook ships with the code, not
 #     after it;
 #  3. every public symbol of the online/streaming simulator headers
-#     (src/sim/online.hpp, src/sim/stream.hpp, src/sim/divisible.hpp)
-#     must be mentioned in docs/ONLINE.md — same rule for the streaming
-#     handbook;
+#     (src/sim/online.hpp, src/sim/stream.hpp, src/sim/divisible.hpp,
+#     src/sim/checkpoint.hpp) must be mentioned in docs/ONLINE.md —
+#     same rule for the streaming handbook;
 #  3b. every public symbol of the scheduling-policy surface
 #     (src/core/policy.hpp and src/baselines/lpt_policy.hpp) must be
 #     mentioned in docs/API.md — the policy objects are the library's
@@ -132,7 +132,8 @@ file(READ "${online_md}" online_text)
 set(online_headers
     "${REPO}/src/sim/online.hpp"
     "${REPO}/src/sim/stream.hpp"
-    "${REPO}/src/sim/divisible.hpp")
+    "${REPO}/src/sim/divisible.hpp"
+    "${REPO}/src/sim/checkpoint.hpp")
 check_symbol_coverage("${online_headers}" "${online_text}" "docs/ONLINE.md")
 
 # --- architecture + benchmark docs --------------------------------------

@@ -270,6 +270,53 @@ void SchedulerEngine::close_stream(const EngineStreamId& id,
   ws.free_streams.push_back(id.index);
 }
 
+void SchedulerEngine::checkpoint_stream(const EngineStreamId& id,
+                                        StreamCheckpoint& out) {
+  stream_state(id).sim.checkpoint(out);
+}
+
+EngineStreamId SchedulerEngine::restore_stream(const StreamConfig& config,
+                                               const StreamCheckpoint& ckpt) {
+  if (workspaces_.empty()) workspaces_.resize(1);
+  EngineWorkspace& ws = workspaces_[0];
+  int index = -1;
+  if (!ws.free_streams.empty()) {
+    index = ws.free_streams.back();
+    ws.free_streams.pop_back();
+  } else {
+    index = static_cast<int>(ws.streams.size());
+    ws.streams.push_back(std::make_unique<EngineStreamState>());
+  }
+  EngineStreamState& state = *ws.streams[static_cast<std::size_t>(index)];
+  try {
+    state.sim.restore(ckpt);
+  } catch (...) {
+    ws.free_streams.push_back(index);
+    throw;
+  }
+  state.demt = config.demt;
+  state.offline_algorithm = config.offline_algorithm;
+  state.policy = config.policy;
+  state.in_use = true;
+  ++state.serial;
+  ++stats_.streams_restored;
+  return EngineStreamId{index, state.serial};
+}
+
+void SchedulerEngine::abandon_stream(const EngineStreamId& id) noexcept {
+  if (workspaces_.empty() || id.index < 0 ||
+      static_cast<std::size_t>(id.index) >= workspaces_[0].streams.size()) {
+    return;
+  }
+  EngineStreamState& state =
+      *workspaces_[0].streams[static_cast<std::size_t>(id.index)];
+  if (!state.in_use || state.serial != id.serial) return;
+  state.in_use = false;
+  state.policy = nullptr;
+  ++state.serial;
+  workspaces_[0].free_streams.push_back(id.index);
+}
+
 bool SchedulerEngine::stream_open(const EngineStreamId& id) const noexcept {
   if (workspaces_.empty() || id.index < 0 ||
       static_cast<std::size_t>(id.index) >= workspaces_[0].streams.size()) {

@@ -45,6 +45,7 @@
 #include "sched/flat_schedule.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/online.hpp"
 #include "sim/stream.hpp"
 #include "tasks/instance.hpp"
@@ -142,6 +143,7 @@ struct EngineStats {
   std::uint64_t online_requests = 0;  ///< on-line simulations served
   std::uint64_t batches = 0;          ///< batch calls dispatched
   std::uint64_t streams_opened = 0;   ///< streaming sessions opened
+  std::uint64_t streams_restored = 0; ///< sessions resumed from a checkpoint
   std::uint64_t stream_feeds = 0;     ///< feed_stream calls served
   std::uint64_t stream_arrivals = 0;  ///< arrivals fed across all streams
   int strands_last_batch = 1;         ///< concurrency of the last call
@@ -253,6 +255,27 @@ class SchedulerEngine {
 
   /// True while `id` names a live (opened, not yet closed) stream.
   [[nodiscard]] bool stream_open(const EngineStreamId& id) const noexcept;
+
+  /// Snapshot an open stream's resumable state into `out`
+  /// (sim/checkpoint.hpp); the session stays open and unchanged. Same
+  /// thread contract as feed_stream. Throws std::invalid_argument on an
+  /// unknown/closed id.
+  void checkpoint_stream(const EngineStreamId& id, StreamCheckpoint& out);
+
+  /// Open a session resuming from `ckpt`: machine size and reservations
+  /// come from the checkpoint, the per-batch policy (or deprecated enum
+  /// pair) from `config` — the same configuration the original stream ran,
+  /// or the resumed decisions will differ. Future feeds/close deliver
+  /// bit-identically to the original session's continuation. Throws
+  /// std::invalid_argument on a malformed checkpoint.
+  [[nodiscard]] EngineStreamId restore_stream(const StreamConfig& config,
+                                              const StreamCheckpoint& ckpt);
+
+  /// Release a session without running finish(): no final delivery, the
+  /// id becomes invalid, the pooled state is recycled. The failover path
+  /// after checkpoint_stream — the stream's life continues elsewhere.
+  /// Unknown/closed ids are ignored.
+  void abandon_stream(const EngineStreamId& id) noexcept;
 
   [[nodiscard]] const EngineOptions& options() const noexcept {
     return options_;

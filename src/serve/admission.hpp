@@ -47,6 +47,12 @@ struct LaneSpec {
   /// (accepted, not yet taken). <= 0 means no per-lane bound — only the
   /// scheduler-wide queue_capacity applies.
   int queue_capacity = 0;
+  /// Deadline-based drop: a one-shot request of this lane that has waited
+  /// longer than about this long in its shard's coalescing queue is
+  /// completed as Cancelled instead of served (counted in
+  /// AsyncStats::dropped; the slot still needs take()). <= 0 disables the
+  /// drop. Stream feeds are exempt — skipping one would corrupt the tape.
+  double max_queue_ms = 0.0;
 };
 
 /// The admission decision surface: which lanes exist and who goes where.

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,6 +28,7 @@ enum StrandState : int { kIdle = 0, kScheduled, kRunning, kRescheduled };
 
 [[nodiscard]] bool is_terminal(TicketStatus status) noexcept {
   return status == TicketStatus::Done || status == TicketStatus::Failed ||
+         status == TicketStatus::Cancelled ||
          status == TicketStatus::Rejected || status == TicketStatus::Invalid;
 }
 
@@ -49,7 +51,21 @@ AsyncOptions validated(AsyncOptions options) {
   if (options.max_streams <= 0) {
     throw std::invalid_argument("AsyncScheduler: max_streams <= 0");
   }
+  if (options.retry.max_attempts < 1) {
+    throw std::invalid_argument("AsyncScheduler: retry.max_attempts < 1");
+  }
+  if (options.retry.base_backoff_ms < 0.0) {
+    throw std::invalid_argument("AsyncScheduler: retry.base_backoff_ms < 0");
+  }
   return options;
+}
+
+/// Policy label for error messages: the configured policy object's name,
+/// or the built-in the deprecated enum pair resolves to.
+[[nodiscard]] const char* policy_name(const SchedulingPolicy* policy,
+                                      EngineAlgorithm algorithm) noexcept {
+  if (policy != nullptr) return policy->name();
+  return algorithm == EngineAlgorithm::Demt ? "demt" : "flatlist";
 }
 
 /// Copy (and validate) the admission policy's lane table; no policy means
@@ -89,6 +105,8 @@ const char* to_string(TicketStatus status) noexcept {
     case TicketStatus::Running: return "running";
     case TicketStatus::Done: return "done";
     case TicketStatus::Failed: return "failed";
+    case TicketStatus::Cancelled: return "cancelled";
+    case TicketStatus::TimedOut: return "timed_out";
   }
   return "?";
 }
@@ -104,6 +122,14 @@ struct AsyncScheduler::Impl {
     std::int64_t done_ns = 0;
     SlotKind kind = SlotKind::OneShot;
     std::uint32_t lane = 0;  ///< admission lane; owned with the slot
+    /// Attempt count: 1 at commit, +1 per RetryPolicy re-queue. Atomic so
+    /// attempts() can read it while the strand retries.
+    std::atomic<std::uint32_t> attempts{0};
+    /// Cancellation request, keyed by ticket id: cancel(t) stores t.id and
+    /// the strand drops the slot at pop time when this matches the slot's
+    /// live ticket. Matching by id (not a bool) makes a stale cancel on a
+    /// recycled slot harmless — the old id can never match the new owner.
+    std::atomic<std::uint64_t> cancel_ticket{0};
     /// Where the slot was routed; wait() force-flushes it. Atomic because
     /// a waiter on a recycled ticket may read it while the slot's new
     /// owner commits (the value read is then irrelevant, but the access
@@ -139,6 +165,13 @@ struct AsyncScheduler::Impl {
     std::vector<NodeReservation> reservations;  ///< copied at open
     EngineStreamId engine_stream{};
     bool engine_open = false;
+    /// Migration hand-off: a failed shard's strand checkpoints the engine
+    /// session into `checkpoint` and sets `has_checkpoint` before the
+    /// release store that re-pins `shard`; the new shard's strand restores
+    /// lazily on the stream's next feed. Ordinary strand-only fields — the
+    /// re-pin store / routing load (acquire) publishes them.
+    StreamCheckpoint checkpoint;
+    bool has_checkpoint = false;
   };
 
   /// One engine shard: coalescing queue + engine (with its pooled
@@ -158,6 +191,9 @@ struct AsyncScheduler::Impl {
     }
 
     void run() noexcept override {
+      // Fresh heartbeat before the watchdog can see kRunning: a stale
+      // timestamp from the previous run must not read as a stall.
+      heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
       strand_state.store(kRunning, std::memory_order_relaxed);
       for (;;) {
         impl->drain_shard(*this);
@@ -170,11 +206,21 @@ struct AsyncScheduler::Impl {
     }
 
     Impl* impl;
+    std::uint32_t index = 0;  ///< position in the shard table
     /// Submitted slot indices, one ring per lane.
     std::vector<std::unique_ptr<MpmcQueue<std::uint32_t>>> pending;
     std::atomic<std::int64_t> pending_count{0};  ///< across all lanes
     std::atomic<std::int64_t> first_pending_ns{0};
     std::atomic<int> strand_state{kIdle};
+    /// Failed shards serve nothing: their strand only forwards queued work
+    /// to survivors (drain_shard's first check). Sticky once set.
+    std::atomic<bool> failed{false};
+    /// Liveness signal for the watchdog, refreshed by the strand between
+    /// batches; stalls show as a stale value while strand_state is running.
+    std::atomic<std::int64_t> heartbeat_ns{0};
+    /// Non-empty drain iterations served — the fault oracle's batch index.
+    /// Strand-only.
+    std::uint64_t batch_counter = 0;
     SchedulerEngine engine;
     std::vector<std::uint32_t> batch_slots;
     std::vector<EngineRequest> batch_requests;
@@ -184,6 +230,7 @@ struct AsyncScheduler::Impl {
   explicit Impl(const AsyncOptions& validated_options)
       : options(validated_options),
         lanes(validated_lanes(options.admission)),
+        injector(options.faults),  // validates the plan (throws)
         slots(static_cast<std::size_t>(options.queue_capacity)),
         free_slots(static_cast<std::size_t>(options.queue_capacity)),
         streams(static_cast<std::size_t>(options.max_streams)),
@@ -230,9 +277,17 @@ struct AsyncScheduler::Impl {
     shards.reserve(static_cast<std::size_t>(options.shards));
     for (int s = 0; s < options.shards; ++s) {
       shards.push_back(std::make_unique<Shard>(*this, options, lanes.size()));
+      shards.back()->index = static_cast<std::uint32_t>(s);
     }
-    if (options.flush_after_ms > 0.0) {
-      flusher = std::thread([this] { flusher_loop(); });
+    // Retried slots park here between attempts; pre-sized so even the
+    // failure path allocates only once the table-bound is exceeded (never).
+    retry_queue.reserve(static_cast<std::size_t>(options.queue_capacity));
+    retry_scratch.reserve(static_cast<std::size_t>(options.queue_capacity));
+    // One background thread covers every periodic duty: deadline flushes,
+    // the stall watchdog, and retry release after backoff.
+    if (options.flush_after_ms > 0.0 || options.watchdog_ms > 0.0 ||
+        options.retry.enabled()) {
+      maintenance = std::thread([this] { maintenance_loop(); });
     }
   }
 
@@ -264,11 +319,13 @@ struct AsyncScheduler::Impl {
   /// seq_cst so at least one side always sees the other's store —
   /// otherwise a completion could skip notify while the waiter sleeps on
   /// the stale status, a lost wakeup with no timeout to save it.
-  void publish_done(std::size_t completed, std::size_t failed) {
+  void publish_done(std::size_t completed, std::size_t failed,
+                    std::size_t cancelled = 0) {
     stat_completed.fetch_add(completed, std::memory_order_relaxed);
     stat_failed.fetch_add(failed, std::memory_order_relaxed);
-    live_count.fetch_sub(static_cast<std::int64_t>(completed + failed),
-                         std::memory_order_release);
+    live_count.fetch_sub(
+        static_cast<std::int64_t>(completed + failed + cancelled),
+        std::memory_order_release);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (waiters.load(std::memory_order_relaxed) > 0) {
       const std::lock_guard lock(wait_mutex);
@@ -276,9 +333,224 @@ struct AsyncScheduler::Impl {
     }
   }
 
+  /// Reserve one shard-failure token, refusing when taking it would leave
+  /// no alive shard — routing and failover may always assume a survivor
+  /// exists. True exactly once per shard.
+  bool try_declare_failed(Shard& shard) {
+    int count = failed_shard_count.load(std::memory_order_relaxed);
+    do {
+      if (count + 1 >= static_cast<int>(shards.size())) return false;
+    } while (!failed_shard_count.compare_exchange_weak(
+        count, count + 1, std::memory_order_acq_rel));
+    if (shard.failed.exchange(true, std::memory_order_acq_rel)) {
+      failed_shard_count.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    stat_shards_failed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// First alive shard scanning from `hint` (wrap-around). Null only if
+  /// every shard is failed, which try_declare_failed makes impossible.
+  [[nodiscard]] Shard* pick_alive(std::size_t hint) noexcept {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      Shard& cand = *shards[(hint + i) % shards.size()];
+      if (!cand.failed.load(std::memory_order_acquire)) return &cand;
+    }
+    return nullptr;
+  }
+
+  /// Round-robin one-shot routing that skips failed shards (free when
+  /// nothing has failed — the common case is one relaxed load).
+  [[nodiscard]] std::uint32_t route_one_shot(std::uint64_t id) noexcept {
+    const auto home = static_cast<std::uint32_t>(id % shards.size());
+    if (failed_shard_count.load(std::memory_order_relaxed) == 0) return home;
+    Shard* alive = pick_alive(home);
+    return alive != nullptr ? alive->index : home;
+  }
+
+  /// Hand an already-claimed slot to `target`'s coalescing queue (the
+  /// requeue half of failover and retry release). Caller activates.
+  void push_to_shard(std::uint32_t slot_index, Shard& target) {
+    Slot& slot = slots[slot_index];
+    slot.shard.store(target.index, std::memory_order_relaxed);
+    std::int64_t no_stamp = 0;
+    target.first_pending_ns.compare_exchange_strong(
+        no_stamp, now_ns(), std::memory_order_relaxed);
+    target.pending_count.fetch_add(1, std::memory_order_relaxed);
+    while (!target.pending[slot.lane]->try_push(slot_index)) {
+      std::this_thread::yield();  // transient only; ring holds every slot
+    }
+  }
+
+  /// Complete a stream feed/close that cannot reach a live pinned shard.
+  /// `release_entry` only from the failed shard's own strand: a close that
+  /// still owns its entry then frees the table slot (the watchdog thread
+  /// must never touch entries — they belong to strands).
+  void fail_stream_slot(std::uint32_t slot_index, bool release_entry) {
+    Slot& slot = slots[slot_index];
+    if (release_entry && slot.kind == SlotKind::StreamClose) {
+      StreamEntry& entry = streams[slot.stream_index];
+      std::uint64_t closing = slot.stream_ticket | kStreamClosing;
+      if (entry.ticket.compare_exchange_strong(closing, 0,
+                                               std::memory_order_acq_rel)) {
+        entry.has_checkpoint = false;
+        open_stream_count.fetch_sub(1, std::memory_order_relaxed);
+        stat_streams_closed.fetch_add(1, std::memory_order_relaxed);
+        while (!free_streams.try_push(slot.stream_index)) {
+          std::this_thread::yield();
+        }
+      }
+    }
+    slot.delivery.clear();
+    slot.error.assign("AsyncScheduler: stream request lost with failed shard");
+    slot.done_ns = now_ns();
+    lane_completed[slot.lane].fetch_add(1, std::memory_order_relaxed);
+    slot.status.store(TicketStatus::Failed, std::memory_order_release);
+    publish_done(0, 1);
+  }
+
+  /// Complete a popped one-shot as Cancelled (caller's cancel() or a lane
+  /// max_queue_ms drop). The caller batches the live-count publish.
+  void complete_cancelled(Slot& slot, bool deadline_drop) {
+    slot.result.cmax = 0.0;
+    slot.result.weighted_completion_sum = 0.0;
+    slot.result.has_schedule = false;
+    slot.result.diag = DemtDiagnostics{};
+    slot.error.assign(deadline_drop
+                          ? "AsyncScheduler: dropped after lane max_queue_ms"
+                          : "AsyncScheduler: cancelled by caller");
+    slot.done_ns = now_ns();
+    lane_completed[slot.lane].fetch_add(1, std::memory_order_relaxed);
+    (deadline_drop ? stat_dropped : stat_cancelled)
+        .fetch_add(1, std::memory_order_relaxed);
+    slot.status.store(TicketStatus::Cancelled, std::memory_order_release);
+  }
+
+  /// Park a failed slot for its next attempt: ready after an exponential
+  /// backoff (`attempt` is the upcoming attempt number, >= 2).
+  void schedule_retry(std::uint32_t slot_index, std::int64_t now,
+                      std::uint32_t attempt) {
+    const auto base_ns = static_cast<std::int64_t>(
+        std::llround(std::max(0.0, options.retry.base_backoff_ms) * 1e6));
+    const int shift = std::min<int>(attempt >= 2 ? attempt - 2 : 0, 30);
+    const std::lock_guard lock(retry_mutex);
+    retry_queue.push_back(RetryItem{slot_index, now + (base_ns << shift)});
+  }
+
+  /// Maintenance duty: move every backoff-expired retry slot onto an
+  /// alive shard's queue.
+  void release_retries(std::int64_t now) {
+    retry_scratch.clear();
+    {
+      const std::lock_guard lock(retry_mutex);
+      std::size_t keep = 0;
+      for (const RetryItem& item : retry_queue) {
+        if (item.ready_ns <= now) {
+          retry_scratch.push_back(item.slot);
+        } else {
+          retry_queue[keep++] = item;
+        }
+      }
+      retry_queue.resize(keep);
+    }
+    for (const std::uint32_t slot_index : retry_scratch) {
+      Shard* target = pick_alive(
+          failover_rr.fetch_add(1, std::memory_order_relaxed));
+      if (target == nullptr) target = shards.front().get();
+      push_to_shard(slot_index, *target);
+      activate(*target);
+    }
+  }
+
+  /// Full failover, on the failed shard's own strand (the only owner of
+  /// its engine sessions): checkpoint + re-pin every stream still pinned
+  /// here, then forward `popped` (claimed but unserved) and everything in
+  /// the rings to survivors. Re-entrant — a failed shard's strand stays a
+  /// forwarder for slots routed to it by stale entry.shard reads.
+  void strand_failover(Shard& shard, const std::uint32_t* popped,
+                       std::size_t popped_count) {
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      StreamEntry& entry = streams[i];
+      if (entry.shard.load(std::memory_order_relaxed) != shard.index) continue;
+      if (entry.ticket.load(std::memory_order_acquire) == 0) continue;
+      Shard* target = pick_alive(shard.index + 1 + i);
+      if (target == nullptr || target == &shard) continue;
+      if (entry.engine_open) {
+        shard.engine.checkpoint_stream(entry.engine_stream, entry.checkpoint);
+        shard.engine.abandon_stream(entry.engine_stream);
+        entry.engine_open = false;
+        entry.has_checkpoint = true;
+        stat_streams_migrated.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Release store: publishes the checkpoint to whoever routes on the
+      // new pin (submit_stream's acquire load, then the ring push/pop).
+      entry.shard.store(target->index, std::memory_order_release);
+    }
+    const auto forward = [&](std::uint32_t slot_index) {
+      Slot& slot = slots[slot_index];
+      if (slot.kind == SlotKind::OneShot) {
+        Shard* target = pick_alive(
+            failover_rr.fetch_add(1, std::memory_order_relaxed));
+        if (target == nullptr) target = &shard;  // unreachable
+        push_to_shard(slot_index, *target);
+        activate(*target);
+        stat_failed_over.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const std::uint32_t pin =
+          streams[slot.stream_index].shard.load(std::memory_order_relaxed);
+      if (pin != shard.index &&
+          !shards[pin]->failed.load(std::memory_order_acquire)) {
+        push_to_shard(slot_index, *shards[pin]);
+        activate(*shards[pin]);
+      } else {
+        // Stale slot (stream gone) or multi-failure corner: fail it rather
+        // than bounce between dead shards.
+        fail_stream_slot(slot_index, /*release_entry=*/true);
+      }
+    };
+    for (std::size_t i = 0; i < popped_count; ++i) forward(popped[i]);
+    std::uint32_t index = 0;
+    for (auto& ring : shard.pending) {
+      while (ring->try_pop(index)) {
+        shard.pending_count.fetch_sub(1, std::memory_order_relaxed);
+        forward(index);
+      }
+    }
+    shard.first_pending_ns.store(0, std::memory_order_relaxed);
+  }
+
+  /// Watchdog-side requeue for a shard whose strand is stuck: reroute the
+  /// queued one-shots now; stream work is failed (its engine session is
+  /// strand-owned, so only the stuck strand can migrate it — that happens
+  /// in strand_failover when it resumes).
+  void watchdog_requeue(Shard& shard) {
+    std::uint32_t index = 0;
+    for (auto& ring : shard.pending) {
+      while (ring->try_pop(index)) {
+        shard.pending_count.fetch_sub(1, std::memory_order_relaxed);
+        Slot& slot = slots[index];
+        if (slot.kind == SlotKind::OneShot) {
+          Shard* target = pick_alive(
+              failover_rr.fetch_add(1, std::memory_order_relaxed));
+          if (target == nullptr) target = &shard;  // unreachable
+          push_to_shard(index, *target);
+          activate(*target);
+          stat_failed_over.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          fail_stream_slot(index, /*release_entry=*/false);
+        }
+      }
+    }
+  }
+
   /// Serve batch_slots[first, last) — all OneShot — as one engine batch.
+  /// `inject_throw` fails the whole segment as if the engine threw (the
+  /// FaultKind::EngineThrow path). Failed slots with retry budget left go
+  /// back to Pending through the retry queue instead of finalising.
   void run_one_shot_segment(Shard& shard, std::size_t first,
-                            std::size_t last) {
+                            std::size_t last, bool inject_throw) {
     const std::size_t count = last - first;
     if (shard.batch_requests.size() < count) {
       shard.batch_requests.resize(count);
@@ -290,32 +562,64 @@ struct AsyncScheduler::Impl {
       slot.status.store(TicketStatus::Running, std::memory_order_relaxed);
     }
     bool failed = false;
-    try {
-      shard.engine.schedule_batch_into(shard.batch_requests.data(), count,
-                                       shard.batch_results.data());
-    } catch (const std::exception& e) {
-      failed = true;
-      for (std::size_t i = 0; i < count; ++i) {
-        slots[shard.batch_slots[first + i]].error.assign(e.what());
-      }
-    } catch (...) {
+    if (inject_throw) {
       failed = true;
       for (std::size_t i = 0; i < count; ++i) {
         slots[shard.batch_slots[first + i]].error.assign(
-            "AsyncScheduler: unknown engine error");
+            "AsyncScheduler: injected fault: engine throw");
+      }
+    } else {
+      try {
+        shard.engine.schedule_batch_into(shard.batch_requests.data(), count,
+                                         shard.batch_results.data());
+      } catch (const std::exception& e) {
+        failed = true;
+        for (std::size_t i = 0; i < count; ++i) {
+          slots[shard.batch_slots[first + i]].error.assign(e.what());
+        }
+      } catch (...) {
+        failed = true;
+        for (std::size_t i = 0; i < count; ++i) {
+          slots[shard.batch_slots[first + i]].error.assign(
+              "AsyncScheduler: unknown engine error");
+        }
       }
     }
     const std::int64_t done = now_ns();
+    std::size_t finalized_done = 0;
+    std::size_t finalized_failed = 0;
     for (std::size_t i = 0; i < count; ++i) {
       Slot& slot = slots[shard.batch_slots[first + i]];
       if (failed) {
+        const std::uint32_t tried = slot.attempts.load(
+            std::memory_order_relaxed);
+        if (options.retry.enabled() &&
+            tried < static_cast<std::uint32_t>(options.retry.max_attempts)) {
+          // Back to Pending: the slot stays live (same ticket, same lane
+          // token) and re-queues after backoff, possibly on another shard.
+          slot.attempts.store(tried + 1, std::memory_order_relaxed);
+          slot.status.store(TicketStatus::Pending, std::memory_order_release);
+          stat_retried.fetch_add(1, std::memory_order_relaxed);
+          schedule_retry(shard.batch_slots[first + i], done, tried + 1);
+          continue;
+        }
         slot.result.cmax = 0.0;
         slot.result.weighted_completion_sum = 0.0;
         slot.result.has_schedule = false;
         slot.result.diag = DemtDiagnostics{};
+        slot.error += " (policy: ";
+        slot.error += policy_name(slot.request.policy,
+                                  slot.request.algorithm);
+        if (tried > 1) {
+          slot.error += ", attempts: ";
+          slot.error += std::to_string(tried);
+        }
+        slot.error += ")";
+        ++finalized_failed;
       } else {
         slot.result = std::move(shard.batch_results[i]);
         slot.error.clear();
+        ++finalized_done;
       }
       slot.done_ns = done;
       lane_completed[slot.lane].fetch_add(1, std::memory_order_relaxed);
@@ -323,7 +627,7 @@ struct AsyncScheduler::Impl {
                         std::memory_order_release);
     }
     stat_batches.fetch_add(1, std::memory_order_relaxed);
-    publish_done(failed ? 0 : count, failed ? count : 0);
+    publish_done(finalized_done, finalized_failed);
   }
 
   /// Execute one stream feed/close slot on the stream's pinned shard.
@@ -350,14 +654,21 @@ struct AsyncScheduler::Impl {
       if (!entry.engine_open) {
         // Lazy open on the strand: the engine session (and its pooled
         // workspace) belongs to the shard's engine, so no other thread
-        // ever touches it.
+        // ever touches it. A migrated stream resumes from its checkpoint
+        // instead — bit-identically to the tape it left behind.
         StreamConfig config;
         config.m = entry.m;
         config.reservations = &entry.reservations;
         config.offline_algorithm = entry.offline_algorithm;
         config.demt = entry.demt;
         config.policy = entry.policy;
-        entry.engine_stream = shard.engine.open_stream(config);
+        if (entry.has_checkpoint) {
+          entry.engine_stream =
+              shard.engine.restore_stream(config, entry.checkpoint);
+          entry.has_checkpoint = false;
+        } else {
+          entry.engine_stream = shard.engine.open_stream(config);
+        }
         entry.engine_open = true;
       }
       if (slot.kind == SlotKind::StreamFeed) {
@@ -376,6 +687,12 @@ struct AsyncScheduler::Impl {
       failed = true;
       slot.error.assign("AsyncScheduler: unknown stream error");
       slot.delivery.clear();
+    }
+    if (failed && owns_entry) {
+      // Entry fields are safe to read only while we own the entry.
+      slot.error += " (policy: ";
+      slot.error += policy_name(entry.policy, entry.offline_algorithm);
+      slot.error += ")";
     }
     if (slot.kind == SlotKind::StreamClose && owns_entry) {
       // Close is terminal whatever happened inside: free the table entry.
@@ -402,7 +719,14 @@ struct AsyncScheduler::Impl {
   /// allocation (reused assembly buffers, metrics-only engine path,
   /// in-place result moves, pooled stream sessions and deliveries).
   void drain_shard(Shard& shard) {
+    if (shard.failed.load(std::memory_order_acquire)) {
+      // A failed shard serves nothing: its strand forwards whatever is
+      // (or later lands) in its rings to the survivors.
+      strand_failover(shard, nullptr, 0);
+      return;
+    }
     for (;;) {
+      shard.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
       // Weighted-fair pop: round-robin over the lanes, each round granting
       // lane l up to lane_quota[l] pops (quota ∝ its weight), until the
       // batch is full or nothing is pending. Work-conserving — an idle
@@ -436,49 +760,152 @@ struct AsyncScheduler::Impl {
         shard.first_pending_ns.store(0, std::memory_order_relaxed);
         return;
       }
+      // Fault decision for this non-empty iteration (one hash when chaos
+      // is on; the branch is dead when it is off).
+      FaultDecision fault{};
+      if (injector.enabled()) {
+        fault = injector.decide(static_cast<int>(shard.index),
+                                shard.batch_counter++);
+        if (fault.kind != FaultKind::None) {
+          stat_faults_injected.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (fault.kind == FaultKind::ShardDeath) {
+          if (try_declare_failed(shard)) {
+            // Die at the batch boundary: nothing popped here was served,
+            // so failover forwards it all — no request is lost.
+            strand_failover(shard, shard.batch_slots.data(),
+                            shard.batch_slots.size());
+            return;
+          }
+          fault = {};  // the last alive shard never dies
+        }
+      }
+      // Cancellation and lane-deadline filter: popped one-shots flagged by
+      // cancel() or older than their lane's max_queue_ms complete as
+      // Cancelled here, at the single point where ring membership ends.
+      // Stream slots pass through — skipping a feed would corrupt the tape.
+      const std::int64_t filter_now = now_ns();
+      std::size_t kept = 0;
+      std::size_t cancelled = 0;
+      for (std::size_t i = 0; i < shard.batch_slots.size(); ++i) {
+        const std::uint32_t slot_index = shard.batch_slots[i];
+        Slot& slot = slots[slot_index];
+        if (slot.kind == SlotKind::OneShot) {
+          const double max_q = lanes[slot.lane].max_queue_ms;
+          const bool drop_deadline =
+              max_q > 0.0 &&
+              static_cast<double>(filter_now - slot.submit_ns) > max_q * 1e6;
+          const bool drop_cancel =
+              slot.cancel_ticket.load(std::memory_order_relaxed) ==
+              slot.ticket.load(std::memory_order_relaxed);
+          if (drop_deadline || drop_cancel) {
+            complete_cancelled(slot, drop_deadline && !drop_cancel);
+            ++cancelled;
+            continue;
+          }
+        }
+        shard.batch_slots[kept++] = slot_index;
+      }
+      shard.batch_slots.resize(kept);
+      if (cancelled > 0) publish_done(0, 0, cancelled);
+      if (fault.kind == FaultKind::SlowBatch && fault.stall_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(fault.stall_ms));
+      }
+      bool pending_throw = fault.kind == FaultKind::EngineThrow;
       const std::size_t count = shard.batch_slots.size();
       std::size_t i = 0;
       while (i < count) {
+        shard.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
         if (slots[shard.batch_slots[i]].kind == SlotKind::OneShot) {
           std::size_t j = i + 1;
           while (j < count &&
                  slots[shard.batch_slots[j]].kind == SlotKind::OneShot) {
             ++j;
           }
-          run_one_shot_segment(shard, i, j);
+          run_one_shot_segment(shard, i, j, pending_throw);
+          pending_throw = false;  // one segment absorbs the injected throw
           i = j;
         } else {
           run_stream_slot(shard, shard.batch_slots[i]);
           ++i;
         }
       }
+      if (shard.failed.load(std::memory_order_acquire)) {
+        // The watchdog declared us failed mid-batch (the batch itself
+        // completed normally): migrate streams and forward the rest.
+        strand_failover(shard, nullptr, 0);
+        return;
+      }
     }
   }
 
-  void flusher_loop() {
-    const auto deadline_ns =
-        static_cast<std::int64_t>(std::llround(options.flush_after_ms * 1e6));
-    // Tick at half the deadline (clamped to [50us, 50ms]) so no request
-    // waits much past ~1.5 deadlines before dispatch.
-    const auto tick = std::chrono::nanoseconds(std::clamp<std::int64_t>(
-        deadline_ns / 2, 50'000, 50'000'000));
-    std::unique_lock lock(flusher_mutex);
-    while (!flusher_stop) {
-      flusher_cv.wait_for(lock, tick);
-      if (flusher_stop) break;
+  /// One background thread, three periodic duties: deadline flushes (the
+  /// old flusher), the strand-stall watchdog, and retry release after
+  /// backoff. The tick is the tightest duty's cadence, clamped to
+  /// [50us, 50ms].
+  void maintenance_loop() {
+    const auto flush_ns = options.flush_after_ms > 0.0
+        ? static_cast<std::int64_t>(std::llround(options.flush_after_ms * 1e6))
+        : 0;
+    const auto watchdog_ns = options.watchdog_ms > 0.0
+        ? static_cast<std::int64_t>(std::llround(options.watchdog_ms * 1e6))
+        : 0;
+    std::int64_t tick_ns = 50'000'000;
+    // Half the flush deadline keeps the old bound: no request waits much
+    // past ~1.5 deadlines before dispatch.
+    if (flush_ns > 0) tick_ns = std::min(tick_ns, flush_ns / 2);
+    // A quarter of the watchdog keeps stall detection prompt relative to
+    // the threshold the user asked for.
+    if (watchdog_ns > 0) tick_ns = std::min(tick_ns, watchdog_ns / 4);
+    if (options.retry.enabled()) {
+      tick_ns = std::min(
+          tick_ns, static_cast<std::int64_t>(
+                       std::llround(options.retry.base_backoff_ms * 1e6)) / 2);
+    }
+    const auto tick = std::chrono::nanoseconds(
+        std::max<std::int64_t>(tick_ns, 50'000));
+    std::unique_lock lock(maintenance_mutex);
+    while (!maintenance_stop) {
+      maintenance_cv.wait_for(lock, tick);
+      if (maintenance_stop) break;
       const std::int64_t now = now_ns();
-      for (auto& shard : shards) {
-        if (shard->pending_count.load(std::memory_order_relaxed) <= 0) {
-          continue;
-        }
-        const std::int64_t first =
-            shard->first_pending_ns.load(std::memory_order_relaxed);
-        if (first == 0 || now - first >= deadline_ns) {
-          if (activate(*shard)) {
-            stat_deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+      if (flush_ns > 0) {
+        for (auto& shard : shards) {
+          if (shard->pending_count.load(std::memory_order_relaxed) <= 0) {
+            continue;
+          }
+          const std::int64_t first =
+              shard->first_pending_ns.load(std::memory_order_relaxed);
+          if (first == 0 || now - first >= flush_ns) {
+            if (activate(*shard)) {
+              stat_deadline_flushes.fetch_add(1, std::memory_order_relaxed);
+            }
           }
         }
       }
+      if (watchdog_ns > 0) {
+        for (auto& shard : shards) {
+          if (shard->failed.load(std::memory_order_acquire)) {
+            // Already failed (death or an earlier tick): keep its rings
+            // empty while its strand is stuck — late-routed work must not
+            // wait for the stall to end.
+            if (shard->pending_count.load(std::memory_order_relaxed) > 0) {
+              watchdog_requeue(*shard);
+            }
+            continue;
+          }
+          const int state = shard->strand_state.load(std::memory_order_acquire);
+          if (state != kRunning && state != kRescheduled) continue;
+          const std::int64_t beat =
+              shard->heartbeat_ns.load(std::memory_order_relaxed);
+          if (beat == 0 || now - beat < watchdog_ns) continue;
+          if (try_declare_failed(*shard)) {
+            watchdog_requeue(*shard);
+          }
+        }
+      }
+      if (options.retry.enabled()) release_retries(now);
     }
   }
 
@@ -515,6 +942,7 @@ struct AsyncScheduler::Impl {
 
   AsyncOptions options;
   std::vector<LaneSpec> lanes;  ///< copied from the admission policy
+  FaultInjector injector;       ///< deterministic chaos oracle (may be off)
   std::vector<int> lane_quota;  ///< weighted-fair pop quota per RR round
   std::unique_ptr<std::atomic<std::int64_t>[]> lane_in_flight;
   std::unique_ptr<std::atomic<std::uint64_t>[]> lane_submitted;
@@ -545,14 +973,37 @@ struct AsyncScheduler::Impl {
   std::atomic<std::uint64_t> stat_stream_rejected{0};
   std::atomic<std::int64_t> open_stream_count{0};
 
+  std::atomic<std::uint64_t> stat_cancelled{0};
+  std::atomic<std::uint64_t> stat_dropped{0};
+  std::atomic<std::uint64_t> stat_retried{0};
+  std::atomic<std::uint64_t> stat_failed_over{0};
+  std::atomic<std::uint64_t> stat_shards_failed{0};
+  std::atomic<std::uint64_t> stat_streams_migrated{0};
+  std::atomic<std::uint64_t> stat_faults_injected{0};
+  /// Failure-token count; try_declare_failed caps it below shards.size()
+  /// so at least one shard is always alive. Doubles as the routing
+  /// fast-path guard (0 = skip the alive scan entirely).
+  std::atomic<int> failed_shard_count{0};
+  std::atomic<std::uint32_t> failover_rr{0};  ///< spread for pick_alive
+
+  /// A retried slot waits here (owned by no ring) until its backoff
+  /// deadline; the maintenance thread releases it back to an alive shard.
+  struct RetryItem {
+    std::uint32_t slot = 0;
+    std::int64_t ready_ns = 0;
+  };
+  std::mutex retry_mutex;
+  std::vector<RetryItem> retry_queue;        ///< guarded by retry_mutex
+  std::vector<std::uint32_t> retry_scratch;  ///< maintenance-thread only
+
   std::atomic<int> waiters{0};
   std::mutex wait_mutex;
   std::condition_variable wait_cv;
 
-  std::thread flusher;
-  std::mutex flusher_mutex;
-  std::condition_variable flusher_cv;
-  bool flusher_stop = false;
+  std::thread maintenance;
+  std::mutex maintenance_mutex;
+  std::condition_variable maintenance_cv;
+  bool maintenance_stop = false;
 
   /// Stamp a prepared slot (payload fields already written), route it to a
   /// shard's coalescing queue, and apply the flush policy. Shared tail of
@@ -566,13 +1017,13 @@ Ticket AsyncScheduler::Impl::commit_slot(std::uint32_t slot_index,
                                          std::int64_t pinned_shard) {
   Slot& slot = slots[slot_index];
   const std::uint64_t id = next_ticket.fetch_add(1, std::memory_order_relaxed);
-  const auto shard_index =
-      pinned_shard >= 0
-          ? static_cast<std::uint32_t>(pinned_shard)
-          : static_cast<std::uint32_t>(id % shards.size());
+  const auto shard_index = pinned_shard >= 0
+                               ? static_cast<std::uint32_t>(pinned_shard)
+                               : route_one_shot(id);
   slot.shard.store(shard_index, std::memory_order_relaxed);
   slot.submit_ns = now_ns();
   slot.done_ns = 0;
+  slot.attempts.store(1, std::memory_order_relaxed);
   slot.ticket.store(id, std::memory_order_relaxed);
   slot.status.store(TicketStatus::Pending, std::memory_order_release);
   in_use_count.fetch_add(1, std::memory_order_relaxed);
@@ -609,14 +1060,14 @@ AsyncScheduler::AsyncScheduler(AsyncOptions options)
 AsyncScheduler::~AsyncScheduler() {
   Impl& im = *impl_;
   im.stopping.store(true, std::memory_order_release);
-  drain();
-  if (im.flusher.joinable()) {
+  drain();  // needs the maintenance thread alive: retries drain through it
+  if (im.maintenance.joinable()) {
     {
-      const std::lock_guard lock(im.flusher_mutex);
-      im.flusher_stop = true;
+      const std::lock_guard lock(im.maintenance_mutex);
+      im.maintenance_stop = true;
     }
-    im.flusher_cv.notify_all();
-    im.flusher.join();
+    im.maintenance_cv.notify_all();
+    im.maintenance.join();
   }
   // Let any still-queued strand activation retire before members die.
   for (auto& shard : im.shards) {
@@ -698,8 +1149,8 @@ StreamTicket AsyncScheduler::open_stream(const StreamOptions& options,
   Impl::StreamEntry& entry = im.streams[index];
   const std::uint64_t id =
       im.next_ticket.fetch_add(1, std::memory_order_relaxed);
-  entry.shard.store(static_cast<std::uint32_t>(id % im.shards.size()),
-                    std::memory_order_relaxed);
+  entry.shard.store(im.route_one_shot(id), std::memory_order_relaxed);
+  entry.has_checkpoint = false;  // recycled entries carry no stale image
   entry.m = options.m;
   entry.offline_algorithm = options.offline_algorithm;
   entry.demt = options.demt;
@@ -757,9 +1208,11 @@ Ticket AsyncScheduler::submit_stream(const StreamTicket& stream,
   slot.arrival_count = count;
   slot.watermark = watermark;
   im.stat_stream_feeds.fetch_add(1, std::memory_order_relaxed);
+  // Acquire: a migrated stream's re-pin publishes its checkpoint through
+  // this load (then the ring push/pop carries it to the new strand).
   return im.commit_slot(
       slot_index,
-      static_cast<std::int64_t>(entry.shard.load(std::memory_order_relaxed)));
+      static_cast<std::int64_t>(entry.shard.load(std::memory_order_acquire)));
 }
 
 Ticket AsyncScheduler::close_stream(const StreamTicket& stream) {
@@ -801,7 +1254,7 @@ Ticket AsyncScheduler::close_stream(const StreamTicket& stream) {
   slot.watermark = 0.0;
   return im.commit_slot(
       slot_index,
-      static_cast<std::int64_t>(entry.shard.load(std::memory_order_relaxed)));
+      static_cast<std::int64_t>(entry.shard.load(std::memory_order_acquire)));
 }
 
 TicketStatus AsyncScheduler::poll(const Ticket& ticket) const noexcept {
@@ -843,6 +1296,62 @@ TicketStatus AsyncScheduler::wait(const Ticket& ticket) {
   return status;
 }
 
+TicketStatus AsyncScheduler::wait(const Ticket& ticket, double timeout_ms) {
+  Impl& im = *impl_;
+  TicketStatus status = poll(ticket);
+  if (is_terminal(status)) return status;
+  const std::uint32_t shard =
+      im.slots[ticket.slot].shard.load(std::memory_order_relaxed);
+  if (im.activate(*im.shards[shard])) {
+    im.stat_forced_flushes.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (timeout_ms <= 0.0) {
+    status = poll(ticket);
+    return is_terminal(status) ? status : TicketStatus::TimedOut;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(
+          static_cast<std::int64_t>(std::llround(timeout_ms * 1e6)));
+  im.waiters.fetch_add(1, std::memory_order_relaxed);
+  // Second half of the Dekker pair with publish_done (see wait()).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  bool terminal = false;
+  {
+    std::unique_lock lock(im.wait_mutex);
+    terminal = im.wait_cv.wait_until(lock, deadline, [&] {
+      status = poll(ticket);
+      return is_terminal(status);
+    });
+  }
+  im.waiters.fetch_sub(1, std::memory_order_relaxed);
+  return terminal ? status : TicketStatus::TimedOut;
+}
+
+bool AsyncScheduler::cancel(const Ticket& ticket) {
+  Impl& im = *impl_;
+  if (!ticket.accepted() || ticket.slot >= im.slots.size()) return false;
+  Impl::Slot& slot = im.slots[ticket.slot];
+  if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return false;
+  if (slot.kind != SlotKind::OneShot) return false;  // streams: tape safety
+  if (is_terminal(slot.status.load(std::memory_order_acquire))) return false;
+  // Id-keyed request: a stale store onto a recycled slot can never match
+  // the new owner's ticket, so this is race-free without a status CAS.
+  slot.cancel_ticket.store(ticket.id, std::memory_order_relaxed);
+  // Poke the shard so the drop happens promptly, not at the next flush.
+  const std::uint32_t shard = slot.shard.load(std::memory_order_relaxed);
+  im.activate(*im.shards[shard]);
+  return slot.ticket.load(std::memory_order_acquire) == ticket.id;
+}
+
+std::uint32_t AsyncScheduler::attempts(const Ticket& ticket) const noexcept {
+  const Impl& im = *impl_;
+  if (!ticket.accepted() || ticket.slot >= im.slots.size()) return 0;
+  const Impl::Slot& slot = im.slots[ticket.slot];
+  if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return 0;
+  return slot.attempts.load(std::memory_order_relaxed);
+}
+
 bool AsyncScheduler::take(const Ticket& ticket, EngineResult& out) {
   Impl& im = *impl_;
   if (!ticket.accepted() || ticket.slot >= im.slots.size()) return false;
@@ -850,7 +1359,8 @@ bool AsyncScheduler::take(const Ticket& ticket, EngineResult& out) {
   if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return false;
   if (slot.kind != SlotKind::OneShot) return false;  // take_stream instead
   const TicketStatus status = slot.status.load(std::memory_order_acquire);
-  if (status != TicketStatus::Done && status != TicketStatus::Failed) {
+  if (status != TicketStatus::Done && status != TicketStatus::Failed &&
+      status != TicketStatus::Cancelled) {
     return false;
   }
   out = std::move(slot.result);
@@ -898,7 +1408,8 @@ std::string AsyncScheduler::error(const Ticket& ticket) const {
   if (!ticket.accepted() || ticket.slot >= im.slots.size()) return {};
   const Impl::Slot& slot = im.slots[ticket.slot];
   if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return {};
-  if (slot.status.load(std::memory_order_acquire) != TicketStatus::Failed) {
+  const TicketStatus status = slot.status.load(std::memory_order_acquire);
+  if (status != TicketStatus::Failed && status != TicketStatus::Cancelled) {
     return {};
   }
   return slot.error;
@@ -909,7 +1420,8 @@ double AsyncScheduler::latency_seconds(const Ticket& ticket) const noexcept {
   const Impl::Slot& slot = impl_->slots[ticket.slot];
   if (slot.ticket.load(std::memory_order_acquire) != ticket.id) return 0.0;
   const TicketStatus status = slot.status.load(std::memory_order_acquire);
-  if (status != TicketStatus::Done && status != TicketStatus::Failed) {
+  if (status != TicketStatus::Done && status != TicketStatus::Failed &&
+      status != TicketStatus::Cancelled) {
     return 0.0;
   }
   return static_cast<double>(slot.done_ns - slot.submit_ns) * 1e-9;
@@ -966,6 +1478,15 @@ AsyncStats AsyncScheduler::stats() const {
   stats.stream_feeds = im.stat_stream_feeds.load(std::memory_order_relaxed);
   stats.stream_rejected =
       im.stat_stream_rejected.load(std::memory_order_relaxed);
+  stats.cancelled = im.stat_cancelled.load(std::memory_order_relaxed);
+  stats.dropped = im.stat_dropped.load(std::memory_order_relaxed);
+  stats.retried = im.stat_retried.load(std::memory_order_relaxed);
+  stats.failed_over = im.stat_failed_over.load(std::memory_order_relaxed);
+  stats.shards_failed = im.stat_shards_failed.load(std::memory_order_relaxed);
+  stats.streams_migrated =
+      im.stat_streams_migrated.load(std::memory_order_relaxed);
+  stats.faults_injected =
+      im.stat_faults_injected.load(std::memory_order_relaxed);
   stats.lanes.resize(im.lanes.size());
   for (std::size_t l = 0; l < im.lanes.size(); ++l) {
     LaneStats& lane = stats.lanes[l];

@@ -41,13 +41,25 @@
 /// off-line simulator on the completed arrival list for any shard count
 /// and flush timing (gated by bench/online_stream.cpp).
 ///
+/// Fault tolerance (serve/fault.hpp): an optional seeded FaultPlan
+/// injects deterministic faults (engine throws, slow batches, shard
+/// death) for reproducible chaos runs; a watchdog declares a shard whose
+/// strand stops heartbeating failed; a failed shard's queued one-shot
+/// work fails over to surviving shards (bounded retry with exponential
+/// backoff under RetryPolicy), and its pinned streams migrate via
+/// StreamCheckpoint and resume bit-identically on a new shard. Callers
+/// can bound their own exposure with wait(ticket, timeout_ms),
+/// cancel(ticket), and per-lane queue-age drops (LaneSpec::max_queue_ms).
+/// With no plan, no watchdog, and no retry the scheduler runs the exact
+/// pre-fault hot path — bit-identical, allocation-free.
+///
 /// Threading: submit/poll/wait/take/flush are safe from any number of
-/// threads. Each Ticket has one consumer: two threads must not wait on or
-/// take the same Ticket. One stream has one producer: concurrent
-/// submit_stream calls to the same stream are delivered in admission
-/// order, which only means something if the producers ordered their
-/// watermarks themselves. Never call wait/drain from a shared-pool worker
-/// thread (the strand you would wait on may be queued behind you).
+/// threads. Each Ticket has one consumer: two threads must not wait on,
+/// cancel, or take the same Ticket. One stream has one producer:
+/// concurrent submit_stream calls to the same stream are delivered in
+/// admission order, which only means something if the producers ordered
+/// their watermarks themselves. Never call wait/drain from a shared-pool
+/// worker thread (the strand you would wait on may be queued behind you).
 ///
 /// Full operator documentation (lifecycle diagram, tuning, failure
 /// semantics): docs/SERVING.md; the streaming/job-mix story: docs/ONLINE.md.
@@ -60,12 +72,15 @@
 
 #include "engine/engine.hpp"
 #include "serve/admission.hpp"
+#include "serve/fault.hpp"
 
 namespace moldsched {
 
 /// Lifecycle of a submitted request. Terminal states: Rejected, Done,
-/// Failed — plus Invalid once the ticket's slot has been take()n (or for a
-/// ticket this scheduler never issued).
+/// Failed, Cancelled — plus Invalid once the ticket's slot has been
+/// take()n (or for a ticket this scheduler never issued). TimedOut is
+/// never stored: it is the return value of the timed wait overload when
+/// the deadline passes first (the ticket itself stays live).
 enum class TicketStatus {
   Invalid,   ///< unknown ticket: never issued, already taken, slot reused
   Rejected,  ///< refused at admission: queue_capacity slots already in flight
@@ -73,6 +88,8 @@ enum class TicketStatus {
   Running,   ///< being served inside an engine batch on a shard strand
   Done,      ///< result available through take()
   Failed,    ///< the engine threw for this batch; error(ticket) explains
+  Cancelled, ///< dropped before running: cancel() or a lane max_queue_ms
+  TimedOut,  ///< wait(ticket, timeout_ms) deadline passed; ticket still live
 };
 
 /// Human-readable status name (stable strings, for logs and benches).
@@ -119,6 +136,22 @@ struct AsyncOptions {
   /// nullptr = FifoAdmission (one lane, pure FIFO — the pre-policy
   /// behaviour, bit-compatible).
   const AdmissionPolicy* admission = nullptr;
+  /// Deterministic chaos plan (serve/fault.hpp). Default-constructed =
+  /// disabled: the drain loop never consults the injector and the serving
+  /// path is exactly the pre-fault one. Validated at construction (throws
+  /// std::invalid_argument on bad rates or scripted points).
+  FaultPlan faults;
+  /// Bounded retry with exponential backoff for faulted one-shot batches.
+  /// Default (max_attempts == 1) keeps failures final on first attempt.
+  /// Throws std::invalid_argument when max_attempts < 1 or
+  /// base_backoff_ms < 0.
+  RetryPolicy retry;
+  /// Liveness watchdog: a shard whose strand has been inside a drain for
+  /// longer than about this long without a heartbeat is declared failed —
+  /// its queued one-shots fail over to surviving shards and its streams
+  /// migrate when the stalled strand resumes. <= 0 disables the watchdog.
+  /// Never fails the last alive shard.
+  double watchdog_ms = 0.0;
 };
 
 /// Per-lane cumulative counters (one row per admission lane, in lane
@@ -148,6 +181,13 @@ struct AsyncStats {
   std::uint64_t streams_closed = 0;    ///< executed close_stream requests
   std::uint64_t stream_feeds = 0;      ///< accepted submit_stream calls
   std::uint64_t stream_rejected = 0;   ///< open_stream refusals (table full)
+  std::uint64_t cancelled = 0;         ///< reached Cancelled (cancel())
+  std::uint64_t dropped = 0;           ///< Cancelled by a lane max_queue_ms
+  std::uint64_t retried = 0;           ///< re-queued attempts under RetryPolicy
+  std::uint64_t failed_over = 0;       ///< one-shots rerouted off a failed shard
+  std::uint64_t shards_failed = 0;     ///< shards declared failed (death/watchdog)
+  std::uint64_t streams_migrated = 0;  ///< streams checkpointed onto a new shard
+  std::uint64_t faults_injected = 0;   ///< FaultInjector decisions that fired
   std::vector<LaneStats> lanes;        ///< per-lane rows, in lane order
 };
 
@@ -213,10 +253,29 @@ class AsyncScheduler {
   /// partial batch cannot stall the caller); returns the terminal status.
   TicketStatus wait(const Ticket& ticket);
 
+  /// Bounded wait: like wait(), but gives up after about timeout_ms and
+  /// returns TicketStatus::TimedOut. A timed-out ticket is NOT consumed —
+  /// it stays live, keeps its slot, and may still complete; poll/wait/take
+  /// it again later (or cancel it). timeout_ms <= 0 is a flush + poll.
+  TicketStatus wait(const Ticket& ticket, double timeout_ms);
+
+  /// Request cancellation of a pending one-shot ticket. Best-effort and
+  /// non-blocking: true means the ticket was live and the flag was set —
+  /// its shard will complete it as Cancelled when it next pops it, unless
+  /// the strand already claimed it for a batch (it then still reaches
+  /// Done/Failed). A Cancelled ticket must still be take()n to free its
+  /// slot. Stream tickets are not cancellable (returns false): a skipped
+  /// feed would corrupt the stream's tape.
+  bool cancel(const Ticket& ticket);
+
+  /// Attempt count of a live or terminal ticket: 1 = first attempt, each
+  /// RetryPolicy re-queue adds one. 0 for unknown/taken tickets.
+  [[nodiscard]] std::uint32_t attempts(const Ticket& ticket) const noexcept;
+
   /// Move the result out and free the slot for admission. True only when
-  /// the ticket was Done (or Failed: `out` is then default metrics) and
-  /// names a one-shot request (stream tickets go through take_stream).
-  /// After take, the ticket polls as Invalid.
+  /// the ticket was Done (or Failed/Cancelled: `out` is then default
+  /// metrics) and names a one-shot request (stream tickets go through
+  /// take_stream). After take, the ticket polls as Invalid.
   bool take(const Ticket& ticket, EngineResult& out);
 
   /// Open a streaming session (paper §5 job mix), pinned to one shard for
@@ -259,11 +318,13 @@ class AsyncScheduler {
   /// Streams currently open (accepted, close not yet executed).
   [[nodiscard]] std::size_t open_streams() const noexcept;
 
-  /// Error message of a Failed ticket ("" otherwise). Valid until take().
+  /// Error message of a Failed or Cancelled ticket ("" otherwise). Failed
+  /// messages name the failing policy and, under retry, the attempt count.
+  /// Valid until take().
   [[nodiscard]] std::string error(const Ticket& ticket) const;
 
-  /// Submit-to-done latency of a Done/Failed ticket, in seconds (0 while
-  /// non-terminal). Valid until take().
+  /// Submit-to-done latency of a Done/Failed/Cancelled ticket, in seconds
+  /// (0 while non-terminal). Valid until take().
   [[nodiscard]] double latency_seconds(const Ticket& ticket) const noexcept;
 
   /// Dispatch every shard's partial batch now (non-blocking).

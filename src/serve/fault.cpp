@@ -1,0 +1,75 @@
+#include "serve/fault.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace moldsched {
+
+namespace {
+
+/// splitmix64 finaliser: a full-avalanche mix so consecutive
+/// (shard, batch) points draw statistically independent uniforms.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1) from (seed, shard, batch) — the whole source of
+/// randomness, so decisions replay exactly under the same plan.
+[[nodiscard]] double uniform_at(std::uint64_t seed, int shard,
+                                std::uint64_t batch) noexcept {
+  std::uint64_t h = mix64(seed ^ 0x6D6F6C64736368ULL);  // "moldsch"
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(shard)));
+  h = mix64(h ^ batch);
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+[[nodiscard]] bool valid_rate(double rate) noexcept {
+  return rate >= 0.0 && rate <= 1.0;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  if (!valid_rate(plan_.throw_rate) || !valid_rate(plan_.stall_rate) ||
+      !valid_rate(plan_.death_rate)) {
+    throw std::invalid_argument("FaultPlan: rates must lie in [0, 1]");
+  }
+  if (plan_.throw_rate + plan_.stall_rate + plan_.death_rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: rates must sum to at most 1");
+  }
+  for (const auto& point : plan_.points) {
+    if (point.kind == FaultKind::None) {
+      throw std::invalid_argument("FaultPlan: scripted point without a kind");
+    }
+  }
+  enabled_ = plan_.enabled();
+}
+
+FaultDecision FaultInjector::decide(int shard,
+                                    std::uint64_t batch) const noexcept {
+  if (!enabled_) return {};
+  for (const auto& point : plan_.points) {
+    if ((point.shard < 0 || point.shard == shard) && point.batch == batch) {
+      return FaultDecision{
+          point.kind,
+          point.stall_ms > 0.0 ? point.stall_ms : plan_.stall_ms};
+    }
+  }
+  const double u = uniform_at(plan_.seed, shard, batch);
+  if (u < plan_.death_rate) {
+    return FaultDecision{FaultKind::ShardDeath, 0.0};
+  }
+  if (u < plan_.death_rate + plan_.stall_rate) {
+    return FaultDecision{FaultKind::SlowBatch, plan_.stall_ms};
+  }
+  if (u < plan_.death_rate + plan_.stall_rate + plan_.throw_rate) {
+    return FaultDecision{FaultKind::EngineThrow, 0.0};
+  }
+  return {};
+}
+
+}  // namespace moldsched

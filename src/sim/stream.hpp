@@ -57,6 +57,8 @@
 
 namespace moldsched {
 
+struct StreamCheckpoint;  // sim/checkpoint.hpp
+
 /// The three job types of the paper's §5 mix.
 enum class ArrivalKind {
   Moldable,   ///< allotment chosen by the off-line plug-in
@@ -175,6 +177,20 @@ class OnlineStream {
   [[nodiscard]] const FlatOnlineResult& result() const noexcept {
     return result_;
   }
+
+  /// Snapshot this session's resumable state (clock, watermark,
+  /// reservations, undecided arrivals, divisible residue, running totals)
+  /// into `out` — see sim/checkpoint.hpp. The session itself is
+  /// untouched. Throws std::logic_error on a closed session.
+  void checkpoint(StreamCheckpoint& out) const;
+
+  /// Become the session `ckpt` describes: future feeds, finish, and
+  /// deliveries are bit-identical to the original stream's (its decided
+  /// prefix restores as zeroed result placeholders — already delivered
+  /// elsewhere). Any previous state of this object is abandoned. Throws
+  /// std::invalid_argument on a malformed checkpoint; a throwing restore
+  /// leaves the session closed.
+  void restore(const StreamCheckpoint& ckpt);
 
  private:
   struct PendingDivisible {

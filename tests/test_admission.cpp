@@ -351,5 +351,59 @@ TEST(Admission, SingleLaneBehaviourMatchesPrePolicyScheduler) {
   }
 }
 
+TEST(Admission, FailedStreamFeedKeepsLaneTagAndNamesPolicy) {
+  // The Failed path for lane-tagged stream tickets: a feed violating the
+  // watermark contract (going backwards) completes Failed on its lane,
+  // error() names the offence and the stream's policy, the lane's
+  // completed counter still advances, and the stream stays usable.
+  const int m = 8;
+  Rng rng(99);
+  Instance tmp = generate_instance(WorkloadFamily::Mixed, 2, m, rng);
+  const StreamArrival first = moldable_arrival(tmp.task(0), 1.0);
+  const StreamArrival backwards = moldable_arrival(tmp.task(1), 0.25);
+
+  const WeightedLanesAdmission admission(two_lanes(3, 1));
+  AsyncOptions options;
+  options.admission = &admission;
+  AsyncScheduler async(options);
+
+  StreamOptions stream_options;
+  stream_options.m = m;
+  const StreamTicket stream = async.open_stream(stream_options, 1);
+  ASSERT_TRUE(stream.accepted());
+
+  const Ticket good = async.submit_stream(stream, &first, 1, 1.0);
+  ASSERT_TRUE(good.accepted());
+  ASSERT_EQ(async.wait(good), TicketStatus::Done);
+  StreamDelivery delivery;
+  ASSERT_TRUE(async.take_stream(good, delivery));
+
+  const Ticket bad = async.submit_stream(stream, &backwards, 1, 0.25);
+  ASSERT_TRUE(bad.accepted());
+  EXPECT_EQ(bad.lane, 1u);  // the refusal is attributable to its lane
+  EXPECT_EQ(async.wait(bad), TicketStatus::Failed);
+  const std::string error = async.error(bad);
+  EXPECT_NE(error.find("watermark"), std::string::npos) << error;
+  EXPECT_NE(error.find("policy: flatlist"), std::string::npos) << error;
+  EXPECT_GT(async.latency_seconds(bad), 0.0);
+  ASSERT_TRUE(async.take_stream(bad, delivery));  // Failed frees the slot
+
+  // The stream survives the failed feed: a valid follow-up and the close
+  // still deliver, all on lane 1.
+  const StreamArrival resume = moldable_arrival(tmp.task(1), 2.0);
+  const Ticket next = async.submit_stream(stream, &resume, 1, 2.0);
+  ASSERT_TRUE(next.accepted());
+  EXPECT_EQ(async.wait(next), TicketStatus::Done);
+  ASSERT_TRUE(async.take_stream(next, delivery));
+  const Ticket close = async.close_stream(stream);
+  EXPECT_EQ(async.wait(close), TicketStatus::Done);
+  ASSERT_TRUE(async.take_stream(close, delivery));
+  EXPECT_TRUE(delivery.final_delivery);
+  const AsyncStats stats = async.stats();
+  EXPECT_EQ(stats.lanes[1].submitted, 4u);
+  EXPECT_EQ(stats.lanes[1].completed, 4u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
 }  // namespace
 }  // namespace moldsched

@@ -428,6 +428,50 @@ TEST(AsyncScheduler, ToStringCoversAllStatuses) {
   EXPECT_STREQ(to_string(TicketStatus::Running), "running");
   EXPECT_STREQ(to_string(TicketStatus::Done), "done");
   EXPECT_STREQ(to_string(TicketStatus::Failed), "failed");
+  EXPECT_STREQ(to_string(TicketStatus::Cancelled), "cancelled");
+  EXPECT_STREQ(to_string(TicketStatus::TimedOut), "timed_out");
+}
+
+TEST(AsyncScheduler, FailedOneShotErrorNamesPolicyAndLane) {
+  // A zero-task instance makes demt_schedule throw inside the engine; the
+  // surfaced error must name the failing policy.
+  const Instance empty(8);
+  AsyncOptions options;
+  options.shards = 1;
+  options.flush_after_ms = 0.0;
+  AsyncScheduler scheduler(options);
+  EngineRequest request;
+  request.instance = &empty;
+  request.algorithm = EngineAlgorithm::Demt;
+  const Ticket ticket = scheduler.submit(request, 0);
+  ASSERT_TRUE(ticket.accepted());
+  EXPECT_EQ(scheduler.wait(ticket), TicketStatus::Failed);
+  const std::string message = scheduler.error(ticket);
+  EXPECT_NE(message.find("policy: demt"), std::string::npos) << message;
+  EXPECT_EQ(scheduler.attempts(ticket), 1u);
+  EngineResult result;
+  EXPECT_TRUE(scheduler.take(ticket, result));
+}
+
+TEST(AsyncScheduler, TimedWaitDoesNotConsumeTheTicket) {
+  const auto instances = make_instances(1, 20, 16, 7);
+  AsyncOptions options;
+  options.shards = 1;
+  options.flush_after_ms = 5.0;
+  AsyncScheduler scheduler(options);
+  EngineRequest request;
+  request.instance = &instances[0];
+  request.algorithm = EngineAlgorithm::FlatList;
+  const Ticket ticket = scheduler.submit(request);
+  ASSERT_TRUE(ticket.accepted());
+  // However the race lands, the ticket stays live/terminal — never consumed.
+  const TicketStatus first = scheduler.wait(ticket, 0.001);
+  EXPECT_TRUE(first == TicketStatus::TimedOut || first == TicketStatus::Done);
+  const TicketStatus final_status = scheduler.wait(ticket, 5000.0);
+  EXPECT_EQ(final_status, TicketStatus::Done);
+  EngineResult result;
+  EXPECT_TRUE(scheduler.take(ticket, result));
+  EXPECT_EQ(scheduler.poll(ticket), TicketStatus::Invalid);
 }
 
 }  // namespace
