@@ -14,12 +14,15 @@
 /// documented centrally in docs/BENCHMARKS.md.
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "alloc_hook.hpp"
+#include "core/decision_cache.hpp"
 #include "engine/engine.hpp"
 #include "serve/async_scheduler.hpp"
 #include "sim/online.hpp"
@@ -61,6 +64,7 @@ Flags
   --seed S          base RNG seed                              [20040627]
   --faults S        chaos-smoke fault-plan seed                [= --seed]
   --quick           small preset (24 requests, 2 reps)
+  --zipf            decision-cache section: Zipf recurring shapes
   --json PATH       JSON report path ("" disables)             [BENCH_serve.json]
   --help            this text
 
@@ -76,12 +80,22 @@ once (nothing lost, nothing duplicated), and each stream's deliveries —
 including any migrated via checkpoint off a dead shard — must replay the
 off-line simulator bit-identically.
 
+With --zipf, a decision-cache section (core/decision_cache.hpp) also
+runs: a Zipf(s = 1.1) request mix over a fixed shape catalog is served
+with an AsyncOptions::cache attached, and the run exit-gates three cache
+contracts — cache-on results bit-identical to the cache-off synchronous
+reference for every shard count, steady-state hit rate >= 0.80, and 0.00
+allocs/request on the pure-hit DEMT metrics-only path — while reporting
+the cache-off vs cache-on throughput delta.
+
 Exit status: non-zero when any async result differs from the synchronous
 reference (enum or policy-object path), when the chaos-smoke run loses,
-duplicates, or mis-delivers a request or stream feed, or when the
-steady-state metrics-only FlatList path with priority lanes active
+duplicates, or mis-delivers a request or stream feed, when a --zipf
+cache gate fails (identity, hit rate, or hit-path allocations), or when
+the steady-state metrics-only FlatList path with priority lanes active
 allocates (allocation counting is compiled out under AddressSanitizer and
-reported as -1: sanitized builds gate determinism and admission only).
+reported as -1: sanitized builds gate determinism and admission only;
+the same applies to the --zipf hit-path allocation gate).
 )";
 
 struct Percentiles {
@@ -704,6 +718,182 @@ int main(int argc, char** argv) {
                  "(operator-new hook disabled under AddressSanitizer)\n";
   }
 
+  // --- decision cache under a Zipf recurring-shape mix (--zipf) --------
+  // A fixed shape catalog served under Zipf(s = 1.1) popularity — the
+  // recurring-workload regime the decision cache targets. Three exit
+  // gates: (1) cache-on serving is bit-identical to the cache-off
+  // synchronous reference for every shard count; (2) steady-state hit
+  // rate >= 0.80; (3) the pure-hit DEMT metrics-only path performs 0.00
+  // allocs/request (plain Release builds only; -1 under ASan).
+  struct ZipfReport {
+    bool ran = false;
+    int shapes = 0;
+    int requests = 0;
+    double exponent = 1.1;
+    std::vector<std::pair<int, bool>> identical;  ///< per shard count
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double hit_rate = 0.0;
+    double off_per_s = 0.0;
+    double on_per_s = 0.0;
+    double allocs_per_request_on_hit = -1.0;
+  };
+  ZipfReport zipf;
+  if (args.has("zipf")) {
+    zipf.ran = true;
+    zipf.shapes = args.has("quick") ? 16 : 32;
+    zipf.requests = zipf.shapes * 8;
+
+    // Shape catalog + Zipf(s) inverse-CDF request mix, seeded.
+    Rng zipf_rng(seed ^ 0x5A495046ULL);  // "ZIPF"
+    std::vector<Instance> catalog;
+    catalog.reserve(static_cast<std::size_t>(zipf.shapes));
+    for (int i = 0; i < zipf.shapes; ++i) {
+      catalog.push_back(generate_instance(
+          families[static_cast<std::size_t>(i) % families.size()], n, m,
+          zipf_rng));
+    }
+    std::vector<double> cdf(static_cast<std::size_t>(zipf.shapes));
+    double mass = 0.0;
+    for (int k = 0; k < zipf.shapes; ++k) {
+      mass += 1.0 / std::pow(static_cast<double>(k + 1), zipf.exponent);
+      cdf[static_cast<std::size_t>(k)] = mass;
+    }
+    std::vector<EngineRequest> zipf_requests(
+        static_cast<std::size_t>(zipf.requests));
+    for (auto& request : zipf_requests) {
+      const double u = zipf_rng.uniform(0.0, mass);
+      const auto shape = static_cast<std::size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      request.instance = &catalog[std::min(
+          shape, static_cast<std::size_t>(zipf.shapes - 1))];
+      request.policy = &demt_policy;
+    }
+
+    // Gate 1: cache-on async serving, schedules kept, vs the cache-off
+    // synchronous reference — bit-identical for every shard count.
+    SchedulerEngine sync(EngineOptions{1, true});
+    std::vector<EngineResult> reference;
+    sync.schedule_batch(zipf_requests, reference);
+    bool zipf_identical = true;
+    for (int shards : shard_settings) {
+      DecisionCache cache(DecisionCacheOptions{
+          static_cast<std::size_t>(zipf.shapes) * 8, 4, 32});
+      AsyncOptions options;
+      options.shards = shards;
+      options.max_batch = max_batch;
+      options.flush_after_ms = flush_ms;
+      options.queue_capacity = std::max(capacity, zipf.requests);
+      options.keep_schedules = true;
+      options.cache = &cache;
+      AsyncScheduler async(options);
+      std::vector<Ticket> tickets;
+      tickets.reserve(zipf_requests.size());
+      for (const auto& request : zipf_requests) {
+        tickets.push_back(async.submit(request));
+      }
+      async.drain();
+      EngineResult result;
+      bool identical = true;
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        identical &= async.take(tickets[i], result) &&
+                     results_identical(result, reference[i]);
+      }
+      zipf.identical.emplace_back(shards, identical);
+      zipf_identical &= identical;
+    }
+
+    // Gates 2 + 3 and the throughput delta: one shard, metrics-only,
+    // timed reps rounds cache-off then cache-on (fresh cache, one
+    // warm-up round each), then pure-hit rounds under the alloc hook.
+    DecisionCache cache(DecisionCacheOptions{
+        static_cast<std::size_t>(zipf.shapes) * 8, 4, 32});
+    for (const bool cached : {false, true}) {
+      AsyncOptions options;
+      options.shards = 1;
+      options.max_batch = max_batch;
+      options.flush_after_ms = flush_ms;
+      options.queue_capacity = std::max(capacity, zipf.requests);
+      options.keep_schedules = false;
+      if (cached) options.cache = &cache;
+      AsyncScheduler async(options);
+      std::vector<Ticket> tickets;
+      tickets.reserve(zipf_requests.size());
+      EngineResult result;
+      const auto round = [&] {
+        tickets.clear();
+        for (const auto& request : zipf_requests) {
+          tickets.push_back(async.submit(request));
+        }
+        async.drain();
+        for (const Ticket& ticket : tickets) (void)async.take(ticket, result);
+      };
+      round();  // warm-up (cold misses fill the cache here)
+      WallTimer timer;
+      for (int r = 0; r < reps; ++r) round();
+      const double elapsed = timer.seconds();
+      const double per_s = static_cast<double>(zipf_requests.size()) * reps /
+                           elapsed;
+      if (!cached) {
+        zipf.off_per_s = per_s;
+        continue;
+      }
+      zipf.on_per_s = per_s;
+      if (kAllocHookEnabled) {
+        round();  // settle any remaining warm-up effects
+        const std::uint64_t before = g_alloc_count.load();
+        for (int r = 0; r < reps; ++r) round();
+        zipf.allocs_per_request_on_hit =
+            static_cast<double>(g_alloc_count.load() - before) /
+            static_cast<double>(zipf_requests.size() *
+                                static_cast<std::size_t>(reps));
+      }
+      const DecisionCacheStats stats = cache.stats();
+      zipf.hits = stats.hits;
+      zipf.misses = stats.misses;
+      zipf.evictions = stats.evictions;
+      zipf.hit_rate = stats.hits + stats.misses == 0
+                          ? 0.0
+                          : static_cast<double>(stats.hits) /
+                                static_cast<double>(stats.hits + stats.misses);
+    }
+
+    const bool hit_rate_ok = zipf.hit_rate >= 0.80;
+    const bool allocs_ok = !kAllocHookEnabled ||
+                           zipf.allocs_per_request_on_hit == 0.0;
+    std::cout << strfmt(
+        "\n# zipf decision cache (s=%.1f, %d shapes, %d requests/round):\n",
+        zipf.exponent, zipf.shapes, zipf.requests);
+    for (const auto& [shards, identical] : zipf.identical) {
+      std::cout << strfmt("#   shards %d: cache-on identical to cache-off: "
+                          "%s\n",
+                          shards, identical ? "yes" : "NO");
+    }
+    std::cout << strfmt(
+        "#   hit rate %.3f (%llu hits, %llu misses, %llu evictions) -> %s\n"
+        "#   demt metrics-only: %.1f req/s cache-off, %.1f req/s cache-on "
+        "(%.2fx)\n"
+        "#   allocs/request on pure hits: %.2f -> %s\n",
+        zipf.hit_rate, static_cast<unsigned long long>(zipf.hits),
+        static_cast<unsigned long long>(zipf.misses),
+        static_cast<unsigned long long>(zipf.evictions),
+        hit_rate_ok ? "ok" : "FAIL", zipf.off_per_s, zipf.on_per_s,
+        zipf.off_per_s > 0.0 ? zipf.on_per_s / zipf.off_per_s : 0.0,
+        zipf.allocs_per_request_on_hit,
+        allocs_ok ? "ok" : "FAIL");
+    if (!zipf_identical) {
+      std::cerr << "ERROR: cache-on results differ from cache-off\n";
+    }
+    if (!hit_rate_ok) {
+      std::cerr << "ERROR: zipf steady-state hit rate below 0.80\n";
+    }
+    if (!allocs_ok) {
+      std::cerr << "ERROR: decision-cache hit path allocated\n";
+    }
+    all_ok &= zipf_identical && hit_rate_ok && allocs_ok;
+  }
+
   const std::string json_path = args.get_string("json", "BENCH_serve.json");
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -793,6 +983,29 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(chaos.lost),
         static_cast<unsigned long long>(chaos.duplicated),
         chaos.streams_identical ? "true" : "false");
+    if (zipf.ran) {
+      out << strfmt(
+          "  \"zipf_cache\": {\"exponent\": %.1f, \"shapes\": %d, "
+          "\"requests\": %d,\n    \"identical\": [\n",
+          zipf.exponent, zipf.shapes, zipf.requests);
+      for (std::size_t i = 0; i < zipf.identical.size(); ++i) {
+        out << strfmt(
+            "      {\"shards\": %d, \"identical_to_uncached\": %s}%s\n",
+            zipf.identical[i].first,
+            zipf.identical[i].second ? "true" : "false",
+            i + 1 < zipf.identical.size() ? "," : "");
+      }
+      out << strfmt(
+          "    ],\n    \"hits\": %llu, \"misses\": %llu, "
+          "\"evictions\": %llu, \"hit_rate\": %.3f,\n"
+          "    \"cache_off_requests_per_s\": %.1f, "
+          "\"cache_on_requests_per_s\": %.1f,\n"
+          "    \"allocs_per_request_on_hit\": %.2f},\n",
+          static_cast<unsigned long long>(zipf.hits),
+          static_cast<unsigned long long>(zipf.misses),
+          static_cast<unsigned long long>(zipf.evictions), zipf.hit_rate,
+          zipf.off_per_s, zipf.on_per_s, zipf.allocs_per_request_on_hit);
+    }
     out << strfmt(
         "  \"allocs\": [\n    {\"path\": \"serve_flatlist_metrics_only\", "
         "\"lanes_active\": %d, \"allocs_per_request\": %.2f}\n  ]\n}\n",

@@ -11,9 +11,11 @@
 #     src/sim/checkpoint.hpp) must be mentioned in docs/ONLINE.md —
 #     same rule for the streaming handbook;
 #  3b. every public symbol of the scheduling-policy surface
-#     (src/core/policy.hpp and src/baselines/lpt_policy.hpp) must be
-#     mentioned in docs/API.md — the policy objects are the library's
-#     primary extension point and the API reference must cover them;
+#     (src/core/policy.hpp and src/baselines/lpt_policy.hpp) and of the
+#     decision cache (src/core/decision_cache.hpp) must be mentioned in
+#     docs/API.md — the policy objects are the library's primary
+#     extension point and the cache is their serving-side companion, so
+#     the API reference must cover both;
 #  4. docs/ARCHITECTURE.md must exist and cover every source layer it
 #     promises (core/, sched/, sim/, engine/, serve/);
 #  5. docs/BENCHMARKS.md must exist and document every BENCH_*.json
@@ -119,6 +121,7 @@ check_symbol_coverage("${serve_headers}" "${serving_text}" "docs/SERVING.md")
 # --- policy surface: docs/API.md must cover every policy symbol ---------
 set(policy_headers
     "${REPO}/src/core/policy.hpp"
+    "${REPO}/src/core/decision_cache.hpp"
     "${REPO}/src/baselines/lpt_policy.hpp")
 check_symbol_coverage("${policy_headers}" "${api_text}" "docs/API.md")
 

@@ -38,4 +38,8 @@ const void* LptRigidPolicy::workspace_key() const noexcept {
   return &kKey;
 }
 
+std::uint64_t LptRigidPolicy::cache_key() const noexcept {
+  return 0x4C50545249474944ULL;  // "LPTRIGID": stateless, one key per class
+}
+
 }  // namespace moldsched

@@ -32,6 +32,9 @@ class LptRigidPolicy final : public SchedulingPolicy {
   void schedule_into(const Instance& batch, PolicyWorkspace& ws,
                      FlatPlacements& out) const override;
   [[nodiscard]] const void* workspace_key() const noexcept override;
+  /// Stateless algorithm: one class-wide constant cache key
+  /// (core/decision_cache.hpp).
+  [[nodiscard]] std::uint64_t cache_key() const noexcept override;
 };
 
 }  // namespace moldsched

@@ -1,0 +1,250 @@
+#include "core/decision_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tasks/time_grid.hpp"
+
+namespace moldsched {
+
+namespace {
+
+/// One SplitMix64 finalization round over (h ^ v): cheap, well-mixed, and
+/// already the project's canonical bit mixer (util/rng.hpp).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t z = (h ^ v) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Bucket a positive magnitude onto the geometric grid: sub-step index of
+/// v relative to `anchor` (the instance's t_0), `steps` sub-steps per grid
+/// doubling. floor, not round: a bucket is a half-open interval, so the
+/// "same bucket" property tests can construct mid-bucket values that
+/// tolerate perturbation in either direction.
+std::int64_t quantize(double v, double anchor, int steps) noexcept {
+  return static_cast<std::int64_t>(
+      std::floor(std::log2(v / anchor) * steps));
+}
+
+}  // namespace
+
+InstanceSignature canonical_signature(const Instance& instance,
+                                      int quantize_steps,
+                                      SignatureScratch& scratch) {
+  if (quantize_steps < 1) {
+    throw std::invalid_argument("canonical_signature: quantize_steps < 1");
+  }
+  const int n = instance.num_tasks();
+  std::uint64_t h = mix(0x6D6F6C6473636864ULL,  // "moldschd"
+                        static_cast<std::uint64_t>(instance.procs()));
+  h = mix(h, static_cast<std::uint64_t>(n));
+  if (n == 0) return InstanceSignature{h};
+
+  // Anchor on the instance's own t_0 (TimeGrid with cmax_estimate == tmin
+  // puts t_0 at exactly tmin), then mix the anchor's absolute bucket in so
+  // globally rescaled instances do not alias.
+  const TimeGrid grid(instance.tmin(), instance.tmin());
+  const double anchor = grid.t(0);
+  h = mix(h, static_cast<std::uint64_t>(
+                 quantize(anchor, 1.0, quantize_steps)));
+
+  scratch.task_hashes.clear();
+  for (int t = 0; t < n; ++t) {
+    const MoldableTask& task = instance.task(t);
+    std::uint64_t th = mix(0x7461736B0000ULL,  // "task"
+                           static_cast<std::uint64_t>(task.min_procs()));
+    th = mix(th, static_cast<std::uint64_t>(task.max_procs()));
+    // Weight is a free scale (no tmin relation): bucket it absolutely.
+    th = mix(th, static_cast<std::uint64_t>(
+                     quantize(task.weight(), 1.0, quantize_steps)));
+    for (int k = 1; k <= task.max_procs(); ++k) {
+      th = mix(th, static_cast<std::uint64_t>(
+                       quantize(task.time(k), anchor, quantize_steps)));
+    }
+    scratch.task_hashes.push_back(th);
+  }
+  // Sorting the per-task hashes makes the signature a multiset
+  // fingerprint: permutation- and resubmission-invariant.
+  std::sort(scratch.task_hashes.begin(), scratch.task_hashes.end());
+  for (const std::uint64_t th : scratch.task_hashes) h = mix(h, th);
+  return InstanceSignature{h};
+}
+
+DecisionCache::DecisionCache(DecisionCacheOptions options)
+    : options_(options) {
+  if (options_.capacity < 1) {
+    throw std::invalid_argument("DecisionCache: capacity < 1");
+  }
+  if (options_.shards < 1) {
+    throw std::invalid_argument("DecisionCache: shards < 1");
+  }
+  if (options_.quantize_steps < 1) {
+    throw std::invalid_argument("DecisionCache: quantize_steps < 1");
+  }
+  const std::size_t shard_count =
+      std::min(static_cast<std::size_t>(options_.shards), options_.capacity);
+  shards_.reserve(shard_count);
+  const std::size_t base = options_.capacity / shard_count;
+  const std::size_t extra = options_.capacity % shard_count;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->records.resize(base + (s < extra ? 1 : 0));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+DecisionCache::Shard& DecisionCache::shard_for(std::uint64_t hash) noexcept {
+  // High bits pick the shard; low bits already drove record comparison.
+  const std::size_t index =
+      static_cast<std::size_t>(hash >> 32) % shards_.size();
+  return *shards_[index];
+}
+
+bool DecisionCache::matches(const Record& r, std::uint64_t sig,
+                            std::uint64_t policy_key,
+                            const Instance& instance) noexcept {
+  if (!r.live || r.sig != sig || r.policy_key != policy_key) return false;
+  if (r.m != instance.procs() || r.n != instance.num_tasks()) return false;
+  // Exact in-order descriptor verification: quantization buckets, it never
+  // decides. A permuted resubmission fails here by design (see header).
+  for (int t = 0; t < r.n; ++t) {
+    const MoldableTask& task = instance.task(t);
+    const auto e = static_cast<std::size_t>(t);
+    if (r.weight[e] != task.weight()) return false;
+    if (r.min_procs[e] != task.min_procs()) return false;
+    const auto begin = static_cast<std::size_t>(r.times_begin[e]);
+    const auto end = static_cast<std::size_t>(r.times_begin[e + 1]);
+    const std::vector<double>& times = task.times();
+    if (end - begin != times.size()) return false;
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      if (r.times[begin + k] != times[k]) return false;
+    }
+  }
+  return true;
+}
+
+bool DecisionCache::lookup(const InstanceSignature& sig,
+                           std::uint64_t policy_key, const Instance& instance,
+                           FlatPlacements& out, DemtDiagnostics& diag) {
+  if (policy_key == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = shard_for(sig.hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (std::size_t i = 0; i < shard.live; ++i) {
+      Record& r = shard.records[i];
+      if (!matches(r, sig.hash, policy_key, instance)) continue;
+      r.referenced = true;
+      // Replay: the cached doubles verbatim — bit-identical to the run
+      // that produced them. assign() reuses `out`'s capacity.
+      out.start.assign(r.start.begin(), r.start.end());
+      out.duration.assign(r.duration.begin(), r.duration.end());
+      out.proc_begin.assign(r.proc_begin.begin(), r.proc_begin.end());
+      out.proc_count.assign(r.proc_count.begin(), r.proc_count.end());
+      out.proc_ids.assign(r.proc_ids.begin(), r.proc_ids.end());
+      diag = r.diag;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void DecisionCache::insert(const InstanceSignature& sig,
+                           std::uint64_t policy_key, const Instance& instance,
+                           const FlatPlacements& flat,
+                           const DemtDiagnostics& diag) {
+  if (policy_key == 0) return;
+  Shard& shard = shard_for(sig.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Record* victim = nullptr;
+  for (std::size_t i = 0; i < shard.live; ++i) {
+    Record& r = shard.records[i];
+    if (matches(r, sig.hash, policy_key, instance)) {
+      victim = &r;  // refresh in place (two strands raced on the miss)
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    if (shard.live < shard.records.size()) {
+      victim = &shard.records[shard.live++];
+    } else {
+      // CLOCK: sweep the hand, clearing second-chance bits, until a
+      // record without one comes up. Terminates within two sweeps.
+      for (;;) {
+        Record& r = shard.records[shard.hand];
+        shard.hand = (shard.hand + 1) % shard.records.size();
+        if (r.referenced) {
+          r.referenced = false;
+          continue;
+        }
+        victim = &r;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  Record& r = *victim;
+  r.sig = sig.hash;
+  r.policy_key = policy_key;
+  r.m = instance.procs();
+  r.n = instance.num_tasks();
+  // Descriptors: clear + push_back recycles the victim's capacity.
+  r.weight.clear();
+  r.min_procs.clear();
+  r.times_begin.clear();
+  r.times.clear();
+  for (int t = 0; t < r.n; ++t) {
+    const MoldableTask& task = instance.task(t);
+    r.weight.push_back(task.weight());
+    r.min_procs.push_back(task.min_procs());
+    r.times_begin.push_back(static_cast<int>(r.times.size()));
+    const std::vector<double>& times = task.times();
+    r.times.insert(r.times.end(), times.begin(), times.end());
+  }
+  r.times_begin.push_back(static_cast<int>(r.times.size()));
+  r.start.assign(flat.start.begin(), flat.start.end());
+  r.duration.assign(flat.duration.begin(), flat.duration.end());
+  r.proc_begin.assign(flat.proc_begin.begin(), flat.proc_begin.end());
+  r.proc_count.assign(flat.proc_count.begin(), flat.proc_count.end());
+  r.proc_ids.assign(flat.proc_ids.begin(), flat.proc_ids.end());
+  r.diag = diag;
+  r.live = true;
+  r.referenced = true;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DecisionCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Record& r : shard->records) {
+      r.live = false;
+      r.referenced = false;
+    }
+    shard->live = 0;
+    shard->hand = 0;
+  }
+}
+
+DecisionCacheStats DecisionCache::stats() const {
+  DecisionCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (std::size_t i = 0; i < shard->live; ++i) {
+      if (shard->records[i].live) ++out.size;
+    }
+  }
+  return out;
+}
+
+}  // namespace moldsched

@@ -1,6 +1,7 @@
 #include "core/policy.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace moldsched {
 
@@ -8,6 +9,28 @@ PolicyWorkspace::~PolicyWorkspace() = default;
 SchedulingPolicy::~SchedulingPolicy() = default;
 
 const void* SchedulingPolicy::workspace_key() const noexcept { return this; }
+
+std::uint64_t SchedulingPolicy::cache_key() const noexcept { return 0; }
+
+namespace {
+
+/// SplitMix64 finalization over (h ^ v) — the same mixer the decision
+/// cache's signature uses (util/rng.hpp lineage).
+std::uint64_t mix_key(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t z = (h ^ v) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix_key(std::uint64_t h, double v) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix_key(h, bits);
+}
+
+}  // namespace
 
 void fill_min_work_jobs(const Instance& instance, ListPassWorkspace& list) {
   const int n = instance.num_tasks();
@@ -69,6 +92,24 @@ const void* DemtPolicy::workspace_key() const noexcept {
   return &kKey;
 }
 
+std::uint64_t DemtPolicy::cache_key() const noexcept {
+  // Every schedule-affecting option, by value. shuffle_workers stays out:
+  // the shuffle engine is bit-identical for any worker count.
+  std::uint64_t h = 0x44454D5450434B59ULL;  // class tag ("DEMTPCKY")
+  h = mix_key(h, options_.dual_eps);
+  h = mix_key(h, static_cast<std::uint64_t>(options_.merge_small_tasks));
+  h = mix_key(h, static_cast<std::uint64_t>(options_.smith_order_stacks));
+  h = mix_key(h, static_cast<std::uint64_t>(options_.compaction));
+  h = mix_key(h, static_cast<std::uint64_t>(options_.local_order));
+  h = mix_key(h, static_cast<std::uint64_t>(options_.shuffles));
+  h = mix_key(h, static_cast<std::uint64_t>(options_.shuffle_batch_order));
+  h = mix_key(h, options_.cmax_budget_factor);
+  h = mix_key(h, options_.shuffle_seed);
+  // mix_key never returns 0 for this tag chain in practice, but the
+  // cache treats 0 as "uncacheable" — keep the contract airtight.
+  return h != 0 ? h : 1;
+}
+
 std::unique_ptr<PolicyWorkspace> FlatListPolicy::make_workspace() const {
   return std::make_unique<FlatListPolicyWorkspace>();
 }
@@ -82,6 +123,10 @@ void FlatListPolicy::schedule_into(const Instance& batch, PolicyWorkspace& ws,
 const void* FlatListPolicy::workspace_key() const noexcept {
   static const char kKey = 0;
   return &kKey;
+}
+
+std::uint64_t FlatListPolicy::cache_key() const noexcept {
+  return 0x464C41544C495354ULL;  // "FLATLIST": stateless, one key per class
 }
 
 }  // namespace moldsched

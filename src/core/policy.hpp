@@ -40,6 +40,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "core/demt.hpp"
@@ -98,6 +99,16 @@ class SchedulingPolicy {
   /// engine's deprecated enum adapters (stack-constructed per request) to
   /// stay allocation-free.
   [[nodiscard]] virtual const void* workspace_key() const noexcept;
+
+  /// Decision-cache identity (core/decision_cache.hpp). 0 — the default —
+  /// means "never cache my decisions" (always safe: unknown policies are
+  /// simply not cached). A nonzero key must change whenever any frozen
+  /// option that can change the schedule changes, and must be stable
+  /// across policy objects built from equal options — it is a *value*
+  /// identity, unlike workspace_key()'s class identity, so two DemtPolicy
+  /// temporaries with different DemtOptions never share cache entries.
+  /// The built-ins override this with option-derived keys.
+  [[nodiscard]] virtual std::uint64_t cache_key() const noexcept;
 };
 
 /// The paper's bi-criteria DEMT algorithm (§3.2) as a policy. Options are
@@ -113,6 +124,10 @@ class DemtPolicy final : public SchedulingPolicy {
   void schedule_into(const Instance& batch, PolicyWorkspace& ws,
                      FlatPlacements& out) const override;
   [[nodiscard]] const void* workspace_key() const noexcept override;
+  /// Hash of every DemtOptions field that can change the schedule
+  /// (shuffle_workers is excluded: the shuffle engine is bit-identical
+  /// for every worker count by design).
+  [[nodiscard]] std::uint64_t cache_key() const noexcept override;
 
   [[nodiscard]] const DemtOptions& options() const noexcept {
     return options_;
@@ -135,6 +150,8 @@ class FlatListPolicy final : public SchedulingPolicy {
   void schedule_into(const Instance& batch, PolicyWorkspace& ws,
                      FlatPlacements& out) const override;
   [[nodiscard]] const void* workspace_key() const noexcept override;
+  /// Stateless algorithm: one class-wide constant key.
+  [[nodiscard]] std::uint64_t cache_key() const noexcept override;
 };
 
 /// Fill `list.jobs` with every task of `instance` on its min-work

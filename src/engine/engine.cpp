@@ -20,48 +20,82 @@ PolicyWorkspace& EngineWorkspace::policy_workspace(
 
 namespace {
 
-/// Serve one off-line request under `policy` (the single execution path:
-/// the deprecated enum adapters resolve here too). Metrics come from the
-/// flat placements; a Schedule is materialised only when asked for.
-void run_policy_request(const SchedulingPolicy& policy,
-                        const Instance& instance, bool keep_schedules,
-                        EngineWorkspace& ws, EngineResult& out) {
-  PolicyWorkspace& policy_ws = ws.policy_workspace(policy);
-  policy_ws.last_diag = DemtDiagnostics{};  // workspaces carry no state
-  policy.schedule_into(instance, policy_ws, ws.flat);
+/// Finish one off-line result from the flat placements staged in `ws`:
+/// metrics are linear scans over the flat arrays, and a Schedule is
+/// materialised into the pooled result object only when asked for.
+void finish_offline_result(const Instance& instance, bool keep_schedules,
+                           EngineWorkspace& ws, EngineResult& out) {
   out.cmax = ws.flat.cmax();
   out.weighted_completion_sum = ws.flat.weighted_completion_sum(instance);
-  out.diag = policy_ws.last_diag;
   out.has_schedule = false;
   if (keep_schedules) {
-    out.schedule = ws.flat.to_schedule(instance.procs());
+    // Refill the result's pooled Schedule in place (processor-vector
+    // capacity survives) instead of building a fresh one per batch.
+    ws.flat.materialize_into(instance.procs(), out.schedule);
     out.has_schedule = true;
   }
 }
 
-void serve_offline(const EngineRequest& request, bool keep_schedules,
+/// Serve one off-line request under `policy` (the single execution path:
+/// the deprecated enum adapters resolve here too). With a decision cache
+/// configured and a policy that opts in (cache_key() != 0, request not
+/// bypassed), a recurring shape is served by signature lookup + replay;
+/// the replayed doubles are the cached run's verbatim, so hit and fresh
+/// results are bit-identical.
+void run_policy_request(const SchedulingPolicy& policy,
+                        const Instance& instance,
+                        const EngineOptions& options, bool bypass_cache,
+                        EngineWorkspace& ws, EngineResult& out) {
+  DecisionCache* cache = options.cache;
+  const std::uint64_t policy_key =
+      (cache != nullptr && !bypass_cache) ? policy.cache_key() : 0;
+  InstanceSignature sig;
+  if (policy_key != 0) {
+    sig = canonical_signature(instance, cache->options().quantize_steps,
+                              ws.signature);
+    if (cache->lookup(sig, policy_key, instance, ws.flat, out.diag)) {
+      finish_offline_result(instance, options.keep_schedules, ws, out);
+      return;
+    }
+  }
+  PolicyWorkspace& policy_ws = ws.policy_workspace(policy);
+  policy_ws.last_diag = DemtDiagnostics{};  // workspaces carry no state
+  policy.schedule_into(instance, policy_ws, ws.flat);
+  out.diag = policy_ws.last_diag;
+  finish_offline_result(instance, options.keep_schedules, ws, out);
+  if (policy_key != 0) {
+    cache->insert(sig, policy_key, instance, ws.flat, out.diag);
+  }
+}
+
+void serve_offline(const EngineRequest& request, const EngineOptions& options,
                    EngineWorkspace& ws, EngineResult& out) {
   if (request.instance == nullptr) {
     throw std::invalid_argument("SchedulerEngine: request without instance");
   }
   const Instance& instance = *request.instance;
   if (request.policy != nullptr) {
-    run_policy_request(*request.policy, instance, keep_schedules, ws, out);
+    run_policy_request(*request.policy, instance, options,
+                       request.bypass_cache, ws, out);
     return;
   }
   // Deprecated enum adapter: resolve to the matching built-in policy.
-  // Construction only copies options (no heap), and the built-ins share
-  // per-class workspace keys, so the adapter stays allocation-free and
-  // bit-identical to passing the policy object directly.
+  // Construction only copies options (no heap), the built-ins share
+  // per-class workspace keys, and cache_key() is a value identity (so
+  // per-request temporaries share cache entries correctly) — the adapter
+  // stays allocation-free and bit-identical to passing the policy object
+  // directly.
   switch (request.algorithm) {
     case EngineAlgorithm::Demt: {
       const DemtPolicy policy(request.demt);
-      run_policy_request(policy, instance, keep_schedules, ws, out);
+      run_policy_request(policy, instance, options, request.bypass_cache, ws,
+                         out);
       return;
     }
     case EngineAlgorithm::FlatList: {
       const FlatListPolicy policy;
-      run_policy_request(policy, instance, keep_schedules, ws, out);
+      run_policy_request(policy, instance, options, request.bypass_cache, ws,
+                         out);
       return;
     }
   }
@@ -151,7 +185,7 @@ void SchedulerEngine::schedule_batch_into(const EngineRequest* requests,
                                           std::size_t count,
                                           EngineResult* results) {
   run_indexed(count, [&](EngineWorkspace& ws, std::size_t i) {
-    serve_offline(requests[i], options_.keep_schedules, ws, results[i]);
+    serve_offline(requests[i], options_, ws, results[i]);
   });
   stats_.requests += count;
 }

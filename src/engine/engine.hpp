@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/decision_cache.hpp"
 #include "core/demt.hpp"
 #include "core/policy.hpp"
 #include "sched/flat_schedule.hpp"
@@ -78,6 +79,10 @@ struct EngineRequest {
   /// The per-batch algorithm as a first-class object; overrides the
   /// enum+options pair above when set.
   const SchedulingPolicy* policy = nullptr;
+  /// Skip the decision cache (EngineOptions::cache) for this request:
+  /// no lookup, no insert — the exact pre-cache execution path, for
+  /// callers that need a guaranteed fresh run.
+  bool bypass_cache = false;
 };
 
 /// One on-line simulation request: run the batch framework for `*jobs` on
@@ -112,6 +117,16 @@ struct EngineOptions {
   int workers = 0;
   /// Materialise a Schedule per result. false = metrics-only serving mode.
   bool keep_schedules = true;
+  /// Decision cache (core/decision_cache.hpp), borrowed for the engine's
+  /// whole life; nullptr (default) disables caching entirely — the
+  /// pre-cache hot path, bit-identical to before the cache existed. When
+  /// set, off-line requests whose policy opts in (cache_key() != 0 and
+  /// the request does not set bypass_cache) are served by signature
+  /// lookup + allotment replay on a hit, and inserted on a miss. Results
+  /// are bit-identical either way (the cache verifies task descriptors
+  /// exactly before replaying). One cache may be shared by any number of
+  /// engines — the serving layer passes one to every shard.
+  DecisionCache* cache = nullptr;
 };
 
 /// Configuration of one streaming session (SchedulerEngine::open_stream):
@@ -173,6 +188,7 @@ struct EngineStreamState {
 struct EngineWorkspace {
   FlatPlacements flat;         ///< policy output staging
   OnlineWorkspace online;      ///< on-line simulator state
+  SignatureScratch signature;  ///< decision-cache canonicalization scratch
   /// Pooled per-policy scratch, keyed by workspace_key().
   struct PolicySlot {
     const void* key = nullptr;

@@ -60,6 +60,12 @@ struct FlatPlacements {
 
   /// Materialise into a Schedule on m processors (assigned entries only).
   [[nodiscard]] Schedule to_schedule(int m) const;
+
+  /// to_schedule into a pooled Schedule: `out` is reset to the right
+  /// shape (per-task vector capacity kept) and refilled via place_sorted,
+  /// so a steady keep_schedules serving loop that reuses its result
+  /// objects stops allocating per batch. Same output as to_schedule.
+  void materialize_into(int m, Schedule& out) const;
 };
 
 }  // namespace moldsched

@@ -179,7 +179,8 @@ struct AsyncScheduler::Impl {
   /// itself is the PostedTask so dispatching it allocates nothing.
   struct Shard : ThreadPool::PostedTask {
     Shard(Impl& owner, const AsyncOptions& options, std::size_t num_lanes)
-        : impl(&owner), engine(EngineOptions{1, options.keep_schedules}) {
+        : impl(&owner),
+          engine(EngineOptions{1, options.keep_schedules, options.cache}) {
       // One pre-allocated ring per admission lane: FIFO within a lane,
       // weighted-fair pop across lanes. Each ring can hold every slot
       // (admission bounds the total), so a push can only fail transiently.
@@ -1487,6 +1488,14 @@ AsyncStats AsyncScheduler::stats() const {
       im.stat_streams_migrated.load(std::memory_order_relaxed);
   stats.faults_injected =
       im.stat_faults_injected.load(std::memory_order_relaxed);
+  if (im.options.cache != nullptr) {
+    // The cache keeps its own atomic counters (it may be shared across
+    // schedulers); snapshot them into the serving view.
+    const DecisionCacheStats cache = im.options.cache->stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.cache_evictions = cache.evictions;
+  }
   stats.lanes.resize(im.lanes.size());
   for (std::size_t l = 0; l < im.lanes.size(); ++l) {
     LaneStats& lane = stats.lanes[l];

@@ -152,6 +152,15 @@ struct AsyncOptions {
   /// migrate when the stalled strand resumes. <= 0 disables the watchdog.
   /// Never fails the last alive shard.
   double watchdog_ms = 0.0;
+  /// Decision cache for recurring workload shapes
+  /// (core/decision_cache.hpp), borrowed for the scheduler's whole life
+  /// and shared by every shard's engine. nullptr (default) = no caching,
+  /// the exact pre-cache path. With a cache, one-shot requests whose
+  /// policy opts in (SchedulingPolicy::cache_key() != 0 and
+  /// EngineRequest::bypass_cache unset) replay recurring shapes instead
+  /// of re-running the policy — bit-identical results, hit/miss/evict
+  /// counters in AsyncStats.
+  DecisionCache* cache = nullptr;
 };
 
 /// Per-lane cumulative counters (one row per admission lane, in lane
@@ -188,6 +197,9 @@ struct AsyncStats {
   std::uint64_t shards_failed = 0;     ///< shards declared failed (death/watchdog)
   std::uint64_t streams_migrated = 0;  ///< streams checkpointed onto a new shard
   std::uint64_t faults_injected = 0;   ///< FaultInjector decisions that fired
+  std::uint64_t cache_hits = 0;        ///< decision-cache replays (AsyncOptions::cache)
+  std::uint64_t cache_misses = 0;      ///< decision-cache lookups that ran fresh
+  std::uint64_t cache_evictions = 0;   ///< decision-cache records recycled (CLOCK)
   std::vector<LaneStats> lanes;        ///< per-lane rows, in lane order
 };
 

@@ -324,6 +324,12 @@ void decode_checkpoint(const std::uint8_t* bytes, std::size_t size,
   r.f64_vec(ckpt.div_weight);
   r.f64_vec(ckpt.div_release);
   ckpt.divisible_weighted_completion_sum = r.f64();
+  // A valid image is consumed exactly: trailing bytes mean the caller
+  // framed the image wrong (or the image is corrupt) — reject instead of
+  // silently ignoring what might be half of the next record.
+  if (r.off != r.n) {
+    throw std::invalid_argument("StreamCheckpoint: trailing bytes");
+  }
 }
 
 }  // namespace moldsched

@@ -213,6 +213,93 @@ TEST(StreamCheckpoint, CodecRejectsMalformedImages) {
   EXPECT_EQ(decoded.m, 4);
 }
 
+/// Build a populated checkpoint — reservations, decided jobs, pending
+/// divisible load — so every optional field region of the byte image is
+/// non-empty and the fuzz tests below exercise all of them.
+StreamCheckpoint make_rich_checkpoint() {
+  const int m = 6;
+  const auto tape = make_mix(12, m, /*mixed=*/true, 77);
+  OnlineStream stream;
+  stream.open(m, {NodeReservation{2, 0.5, 1.5}});
+  StreamDelivery out;
+  for (std::size_t i = 0; i + 1 < tape.size(); ++i) {
+    feed_one(stream, tape, i, flat_offline(), out);
+  }
+  StreamCheckpoint ckpt;
+  stream.checkpoint(ckpt);
+  return ckpt;
+}
+
+TEST(StreamCheckpoint, CodecRejectsTruncationAtEveryByte) {
+  std::vector<std::uint8_t> image;
+  encode_checkpoint(make_rich_checkpoint(), image);
+  ASSERT_GT(image.size(), 100u);  // really populated
+  StreamCheckpoint decoded;
+  for (std::size_t cut = 0; cut < image.size(); ++cut) {
+    EXPECT_THROW(decode_checkpoint(image.data(), cut, decoded),
+                 std::invalid_argument)
+        << "cut " << cut;
+  }
+  decode_checkpoint(image.data(), image.size(), decoded);
+  EXPECT_EQ(decoded.m, 6);
+}
+
+TEST(StreamCheckpoint, CodecByteFlipFuzzThrowsOrDecodesNeverUB) {
+  // Decode-only fuzz (a corrupted image is never restore()d — its values
+  // are meaningless): flipping any single byte must either throw
+  // std::invalid_argument or complete a decode with altered payload —
+  // never crash, read out of bounds, or over-allocate (the count guards
+  // bound every resize by the image size). The ASan+UBSan CI lane runs
+  // this test, which is the actual gate.
+  std::vector<std::uint8_t> image;
+  encode_checkpoint(make_rich_checkpoint(), image);
+  auto corrupt = image;
+  std::size_t threw = 0;
+  std::size_t decoded_ok = 0;
+  for (std::size_t off = 0; off < image.size(); ++off) {
+    corrupt[off] ^= 0xFF;
+    StreamCheckpoint decoded;
+    try {
+      decode_checkpoint(corrupt.data(), corrupt.size(), decoded);
+      ++decoded_ok;
+    } catch (const std::invalid_argument&) {
+      ++threw;
+    }
+    corrupt[off] = image[off];
+  }
+  EXPECT_EQ(threw + decoded_ok, image.size());
+  // The structural regions (magic, version, counts) must actually reject.
+  EXPECT_GT(threw, 0u);
+}
+
+TEST(StreamCheckpoint, CodecRejectsOversizedCount) {
+  // Overwrite the reservations count (offset 32: magic, version, m, now,
+  // watermark, flags precede it) with 2^64-1: the count guard must throw
+  // before attempting any allocation.
+  std::vector<std::uint8_t> image;
+  encode_checkpoint(make_rich_checkpoint(), image);
+  ASSERT_GE(image.size(), 40u);
+  auto corrupt = image;
+  for (std::size_t b = 0; b < 8; ++b) corrupt[32 + b] = 0xFF;
+  StreamCheckpoint decoded;
+  EXPECT_THROW(decode_checkpoint(corrupt.data(), corrupt.size(), decoded),
+               std::invalid_argument);
+}
+
+TEST(StreamCheckpoint, CodecRejectsTrailingBytes) {
+  std::vector<std::uint8_t> image;
+  encode_checkpoint(make_rich_checkpoint(), image);
+  StreamCheckpoint decoded;
+  decode_checkpoint(image.data(), image.size(), decoded);  // exact: fine
+  auto padded = image;
+  padded.push_back(0x00);
+  EXPECT_THROW(decode_checkpoint(padded.data(), padded.size(), decoded),
+               std::invalid_argument);
+  padded.insert(padded.end(), 16, 0xAB);
+  EXPECT_THROW(decode_checkpoint(padded.data(), padded.size(), decoded),
+               std::invalid_argument);
+}
+
 TEST(StreamCheckpoint, RestoreValidatesAndCheckpointNeedsOpenSession) {
   OnlineStream closed;
   StreamCheckpoint ckpt;
