@@ -67,23 +67,25 @@ JSON output schema (BENCH_engine.json)
       {"path": "online_sim_demt_offline",     "allocs_per_request": float}]
   }
   "allocs_per_request" counts operator-new calls per request once the
-  per-strand workspaces are warm; engine_flatlist_metrics_only must be 0,
-  and at the default workload shape (requests >= 48, n=60, m=32,
-  8 shuffles) engine_demt_with_schedule must stay at or under 1114 —
-  the schedule-materialisation budget pinned in docs/BENCHMARKS.md
-  (~1106 recorded since materialisation reuses pooled Schedule buffers;
-  the process exits non-zero above the ceiling, so a regression that
-  starts allocating per shuffle or per task fails CI).
+  per-strand workspaces are warm; at the default workload shape
+  (requests >= 48, n=60, m=32, 8 shuffles) BOTH
+  engine_flatlist_metrics_only AND engine_demt_with_schedule must be
+  exactly 0.00 — the whole DEMT pipeline (SoA allotment tables, pooled
+  batch construction, flat placement/compaction, pooled Schedule
+  materialisation) runs allocation-free once its workspace is warm, and
+  the process exits non-zero on any regression that starts allocating
+  per request, per shuffle or per task.
 Full schema reference and recorded baselines for every BENCH_*.json
 report: docs/BENCHMARKS.md.
 )";
 
 /// Alloc ceiling for the DEMT keep_schedules path at the default workload
-/// shape. Measured 1106.48 allocs/request with pooled Schedule
-/// materialisation (FlatPlacements::materialize_into + Schedule::reset);
-/// the slack covers run-to-run jitter from pool-thread scheduling, not
-/// growth.
-constexpr double kDemtScheduleAllocCeiling = 1114.0;
+/// shape: exactly zero. demt_schedule_into runs on pooled SoA buffers and
+/// the keep_schedules materialisation reuses the result objects' Schedule
+/// capacity, so a warm request stream must never touch the allocator
+/// (formerly 1114, back when batch items and allotment tables were rebuilt
+/// on the heap per request).
+constexpr double kDemtScheduleAllocCeiling = 0.0;
 
 bool results_identical(const std::vector<EngineResult>& a,
                        const std::vector<EngineResult>& b) {
@@ -349,16 +351,17 @@ int main(int argc, char** argv) {
     std::cerr << "ERROR: results differed across worker counts\n";
     return 1;
   }
-  // Alloc-ceiling gate: the DEMT keep_schedules path is allowed its
-  // materialisation budget and nothing more. Only meaningful at the
-  // default workload shape (the ceiling scales with n and shuffles) and
-  // with enough requests to amortise warm-up; sanitizer builds report -1
-  // and skip.
+  // Zero-alloc gate: both serving paths — FlatList metrics-only AND the
+  // full DEMT keep_schedules pipeline — must run allocation-free once
+  // their workspaces are warm. Only meaningful at the default workload
+  // shape and with enough requests to amortise warm-up; sanitizer builds
+  // report -1 and skip.
   if (kAllocHookEnabled && num_requests >= 48 && n == 60 && m == 32 &&
       shuffles == 8) {
     for (const auto& r : alloc_rows) {
-      if (r.path == "engine_demt_with_schedule" &&
-          r.allocs_per_request > kDemtScheduleAllocCeiling) {
+      const bool gated = r.path == "engine_demt_with_schedule" ||
+                         r.path == "engine_flatlist_metrics_only";
+      if (gated && r.allocs_per_request > kDemtScheduleAllocCeiling) {
         std::cerr << strfmt(
             "ERROR: %s allocated %.2f/request, ceiling %.2f\n",
             r.path.c_str(), r.allocs_per_request, kDemtScheduleAllocCeiling);

@@ -20,6 +20,7 @@
 #include "core/demt.hpp"
 #include "core/knapsack.hpp"
 #include "dualapprox/cmax_estimator.hpp"
+#include "sched/flat_schedule.hpp"
 #include "sched/list_scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -114,7 +115,14 @@ int main(int argc, char** argv) {
         << "micro_components -- per-component micro costs of the DEMT\n"
         << "pipeline (knapsack, generators, dual-approx search, list\n"
         << "scheduler, batch build, full DEMT), with a global operator-new\n"
-        << "hook verifying the zero-allocation shuffle loop.\n\n"
+        << "hook verifying the zero-allocation shuffle loop.\n"
+        << "Gated per-call checks (non-zero exit on failure): the\n"
+        << "steady-state dual_test and knapsack row-sweep paths must run\n"
+        << "allocation-free, the fused metric scan must match the split\n"
+        << "scans bit-for-bit and allocate nothing, and at the largest size\n"
+        << "the vectorized knapsack / fused scan must stay within 1.5x of\n"
+        << "their scalar references (margin absorbs machine noise; the\n"
+        << "point is catching a kernel regressing to much slower).\n\n"
         << "  --sizes a,b,c   task counts [25,100,400]\n"
         << "  --m N           processors [200]\n"
         << "  --quick         sizes 50,200\n"
@@ -133,16 +141,46 @@ int main(int argc, char** argv) {
                         : args.get_int_list("sizes", {25, 100, 400});
   const int m = static_cast<int>(args.get_int("m", 200));
 
+  // Knapsack three ways: the public vectorized entry point (allocates its
+  // returned selection), the retained scalar reference, and the pooled
+  // row-sweep kernel the batch loop actually calls. The last one is the
+  // serving path, so it carries two gates: zero steady-state allocations,
+  // and -- at the largest size -- per-call time within 1.5x of the scalar
+  // reference (the sweep should win outright; the margin is noise head
+  // room, the gate catches a rewrite that regresses the kernel).
+  bool knap_alloc_ok = true;
+  double knap_ref_s = 0.0;
+  double knap_sweep_s = 0.0;
   for (int n : sizes) {
     Rng rng(1);
     std::vector<KnapsackItem> items;
+    std::vector<int> costs;
+    std::vector<double> weights;
     for (int i = 0; i < n; ++i) {
       items.push_back(KnapsackItem{static_cast<int>(rng.uniform_int(1, 16)),
                                    rng.uniform(1.0, 10.0)});
+      costs.push_back(items.back().cost);
+      weights.push_back(items.back().weight);
     }
     bench(strfmt("knapsack"), n,
           [&] { (void)max_weight_knapsack(items, m); });
+    bench("knapsack_reference", n,
+          [&] { (void)max_weight_knapsack_reference(items, m); });
+    knap_ref_s = g_results.back().per_call_s;
+    KnapsackWorkspace kws;
+    std::vector<int> selected;
+    bench("knapsack_row_sweep", n, [&] {
+      max_weight_knapsack_into(costs.data(), weights.data(), n, m, kws,
+                               selected);
+    });
+    knap_sweep_s = g_results.back().per_call_s;
+    if (kAllocHookEnabled && g_results.back().allocs_per_call != 0.0) {
+      knap_alloc_ok = false;
+    }
   }
+  // Timing gate at the largest size only (small sizes are all overhead).
+  const bool knap_time_ok =
+      knap_sweep_s <= knap_ref_s * 1.5 || knap_ref_s == 0.0;
 
   for (int n : sizes) {
     Rng rng(2);
@@ -212,6 +250,43 @@ int main(int argc, char** argv) {
           [&] { (void)build_batch_items(instance, pending, length); });
   }
 
+  // Fused min/argmin candidate-metric scan vs the two split scans it
+  // replaced. Three gates: the fused pass allocates nothing, its results
+  // equal the split scans bit-for-bit (same adds, same max comparisons,
+  // same order -- see FlatPlacements::metrics), and at the largest size it
+  // stays within 1.5x of the split pair (it touches each entry once
+  // instead of twice, so it should simply win; the gate is a regression
+  // tripwire, not a tight bound).
+  bool metrics_alloc_ok = true;
+  bool metrics_identical = true;
+  double metrics_fused_s = 0.0;
+  double metrics_split_s = 0.0;
+  for (int n : sizes) {
+    const Instance instance = make_instance(n, m, WorkloadFamily::Mixed, 9);
+    const DemtResult placed = demt_schedule(instance);
+    FlatPlacements flat;
+    flat.assign_from(placed.schedule);
+    FlatMetrics fused;
+    bench("metrics_fused_scan", n, [&] { fused = flat.metrics(instance); });
+    metrics_fused_s = g_results.back().per_call_s;
+    if (kAllocHookEnabled && g_results.back().allocs_per_call != 0.0) {
+      metrics_alloc_ok = false;
+    }
+    double split_wc = 0.0;
+    double split_cmax = 0.0;
+    bench("metrics_split_scans", n, [&] {
+      split_wc = flat.weighted_completion_sum(instance);
+      split_cmax = flat.cmax();
+    });
+    metrics_split_s = g_results.back().per_call_s;
+    if (fused.weighted_completion_sum != split_wc ||
+        fused.cmax != split_cmax) {
+      metrics_identical = false;
+    }
+  }
+  const bool metrics_time_ok =
+      metrics_fused_s <= metrics_split_s * 1.5 || metrics_split_s == 0.0;
+
   for (int n : sizes) {
     const Instance instance = make_instance(n, m, WorkloadFamily::Cirne, 6);
     bench("demt_full", n, [&] { (void)demt_schedule(instance); }, 0.2);
@@ -262,9 +337,34 @@ int main(int argc, char** argv) {
   const std::string json_path =
       args.get_string("json", "BENCH_demt_micro.json");
   if (!json_path.empty()) write_json(json_path);
+  bool ok = true;
   if (!dual_ws_ok) {
     std::cerr << "ERROR: dual_test workspace path allocated per test\n";
-    return 1;
+    ok = false;
   }
-  return 0;
+  if (!knap_alloc_ok) {
+    std::cerr << "ERROR: knapsack row-sweep kernel allocated per call\n";
+    ok = false;
+  }
+  if (!knap_time_ok) {
+    std::cerr << strfmt("ERROR: knapsack row sweep slower than 1.5x the "
+                        "scalar reference (%.3f us vs %.3f us per call)\n",
+                        knap_sweep_s * 1e6, knap_ref_s * 1e6);
+    ok = false;
+  }
+  if (!metrics_alloc_ok) {
+    std::cerr << "ERROR: fused metric scan allocated per call\n";
+    ok = false;
+  }
+  if (!metrics_identical) {
+    std::cerr << "ERROR: fused metric scan diverged from the split scans\n";
+    ok = false;
+  }
+  if (!metrics_time_ok) {
+    std::cerr << strfmt("ERROR: fused metric scan slower than 1.5x the "
+                        "split scans (%.3f us vs %.3f us per call)\n",
+                        metrics_fused_s * 1e6, metrics_split_s * 1e6);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

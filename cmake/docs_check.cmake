@@ -125,6 +125,21 @@ set(policy_headers
     "${REPO}/src/baselines/lpt_policy.hpp")
 check_symbol_coverage("${policy_headers}" "${api_text}" "docs/API.md")
 
+# --- SoA kernel layer: docs/API.md must cover every kernel symbol -------
+# The vectorized kernels, their *_into serving forms and their scalar
+# *_reference twins are the performance contract of the library; the API
+# reference must name each one (see "The SoA kernel layer" section).
+set(kernel_headers
+    "${REPO}/src/core/demt.hpp"
+    "${REPO}/src/core/knapsack.hpp"
+    "${REPO}/src/core/batching.hpp"
+    "${REPO}/src/dualapprox/dual_test.hpp"
+    "${REPO}/src/dualapprox/cmax_estimator.hpp"
+    "${REPO}/src/tasks/allotment_table.hpp"
+    "${REPO}/src/sched/flat_schedule.hpp"
+    "${REPO}/src/sched/compaction.hpp")
+check_symbol_coverage("${kernel_headers}" "${api_text}" "docs/API.md")
+
 # --- online/streaming layer: docs/ONLINE.md covers the sim surface -------
 set(online_md "${REPO}/docs/ONLINE.md")
 if(NOT EXISTS "${online_md}")

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "sched/flat_schedule.hpp"
 #include "sched/schedule.hpp"
 #include "tasks/instance.hpp"
 
@@ -111,6 +112,11 @@ class DemtWorkspace {
   friend DemtResult demt_schedule(const Instance& instance,
                                   const DemtOptions& options,
                                   DemtWorkspace& workspace);
+  friend void demt_schedule_into(const Instance& instance,
+                                 const DemtOptions& options,
+                                 DemtWorkspace& workspace,
+                                 FlatPlacements& out_placements,
+                                 DemtDiagnostics& out_diag);
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
@@ -125,5 +131,27 @@ class DemtWorkspace {
 [[nodiscard]] DemtResult demt_schedule(const Instance& instance,
                                        const DemtOptions& options,
                                        DemtWorkspace& workspace);
+
+/// The serving-path entry point: the whole pipeline — allotment tables,
+/// dual-approximation search, batch construction, knapsack selection,
+/// placement, compaction and the shuffle stage — runs on the
+/// structure-of-arrays kernels inside `workspace`, and the winning per-task
+/// placements land in `out_placements` (buffers reused). Zero heap
+/// allocation once the workspace is warm; results are bit-identical to
+/// demt_schedule (which wraps this) and to demt_schedule_reference.
+void demt_schedule_into(const Instance& instance, const DemtOptions& options,
+                        DemtWorkspace& workspace,
+                        FlatPlacements& out_placements,
+                        DemtDiagnostics& out_diag);
+
+/// The retained scalar pipeline: array-of-structs batch items, scan-based
+/// allotment lookups, the budget-outer dual-test DP, the backward in-place
+/// knapsack and Schedule-based placement/compaction, exactly as the driver
+/// ran before the SoA rewrite. Allocates freely and always evaluates
+/// shuffle candidates sequentially (the replay rule makes worker count
+/// irrelevant to the result). The differential suite (test_demt_kernel)
+/// locks demt_schedule bit-identical to this.
+[[nodiscard]] DemtResult demt_schedule_reference(
+    const Instance& instance, const DemtOptions& options = {});
 
 }  // namespace moldsched

@@ -4,6 +4,23 @@
 #include <stdexcept>
 
 namespace moldsched {
+namespace {
+
+void validate(const int* costs, const double* weights, int n, int capacity) {
+  if (capacity < 0) {
+    throw std::invalid_argument("max_weight_knapsack: negative capacity");
+  }
+  for (int i = 0; i < n; ++i) {
+    if (costs[i] <= 0) {
+      throw std::invalid_argument("max_weight_knapsack: non-positive cost");
+    }
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument("max_weight_knapsack: negative weight");
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
                                      int capacity) {
@@ -13,6 +30,64 @@ std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
 
 std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
                                      int capacity, KnapsackWorkspace& ws) {
+  const int n = static_cast<int>(items.size());
+  ws.cost_scratch.resize(items.size());
+  ws.weight_scratch.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ws.cost_scratch[i] = items[i].cost;
+    ws.weight_scratch[i] = items[i].weight;
+  }
+  std::vector<int> selected;
+  max_weight_knapsack_into(ws.cost_scratch.data(), ws.weight_scratch.data(), n,
+                           capacity, ws, selected);
+  return selected;
+}
+
+void max_weight_knapsack_into(const int* costs, const double* weights, int n,
+                              int capacity, KnapsackWorkspace& ws,
+                              std::vector<int>& selected) {
+  validate(costs, weights, n, capacity);
+
+  const auto cap = static_cast<std::size_t>(capacity);
+  const std::size_t row = cap + 1;
+  // Ping-pong rows: dp is the previous item's row, next the current one.
+  // The backward in-place reference only ever reads previous-row values
+  // (j descends, j - cost < j), so `next[j] = take ? cand : dp[j]` computes
+  // the same cell values; the select form keeps the j loop branch free.
+  ws.dp.assign(row, 0.0);
+  ws.next.resize(row);
+  ws.taken.assign(static_cast<std::size_t>(n) * row, 0);
+  for (int i = 0; i < n; ++i) {
+    const auto cost = static_cast<std::size_t>(costs[i]);
+    if (cost > cap) continue;  // row untouched, decisions stay 0
+    const double w = weights[i];
+    const double* dp = ws.dp.data();
+    double* next = ws.next.data();
+    std::uint8_t* taken_row =
+        ws.taken.data() + static_cast<std::size_t>(i) * row;
+    for (std::size_t j = 0; j < cost; ++j) next[j] = dp[j];
+    for (std::size_t j = cost; j <= cap; ++j) {
+      const double cand = dp[j - cost] + w;
+      const bool take = cand > dp[j];
+      next[j] = take ? cand : dp[j];
+      taken_row[j] = static_cast<std::uint8_t>(take);
+    }
+    ws.dp.swap(ws.next);
+  }
+
+  selected.clear();
+  std::size_t j = cap;
+  for (int i = n; i-- > 0;) {
+    if (ws.taken[static_cast<std::size_t>(i) * row + j]) {
+      selected.push_back(i);
+      j -= static_cast<std::size_t>(costs[i]);
+    }
+  }
+  std::reverse(selected.begin(), selected.end());
+}
+
+std::vector<int> max_weight_knapsack_reference(
+    const std::vector<KnapsackItem>& items, int capacity) {
   if (capacity < 0) {
     throw std::invalid_argument("max_weight_knapsack: negative capacity");
   }
@@ -30,16 +105,16 @@ std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
   const std::size_t row = cap + 1;
   // dp[j] = best weight with budget j after processing a prefix of items;
   // taken[i * row + j] records the decision for reconstruction.
-  ws.dp.assign(row, 0.0);
-  ws.taken.assign(n * row, 0);
+  std::vector<double> dp(row, 0.0);
+  std::vector<std::uint8_t> taken(n * row, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto cost = static_cast<std::size_t>(items[i].cost);
     if (cost > cap) continue;
-    std::uint8_t* taken_row = ws.taken.data() + i * row;
+    std::uint8_t* taken_row = taken.data() + i * row;
     for (std::size_t j = cap; j >= cost; --j) {
-      const double candidate = ws.dp[j - cost] + items[i].weight;
-      if (candidate > ws.dp[j]) {
-        ws.dp[j] = candidate;
+      const double candidate = dp[j - cost] + items[i].weight;
+      if (candidate > dp[j]) {
+        dp[j] = candidate;
         taken_row[j] = 1;
       }
     }
@@ -48,7 +123,7 @@ std::vector<int> max_weight_knapsack(const std::vector<KnapsackItem>& items,
   std::vector<int> selected;
   std::size_t j = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (ws.taken[i * row + j]) {
+    if (taken[i * row + j]) {
       selected.push_back(static_cast<int>(i));
       j -= static_cast<std::size_t>(items[i].cost);
     }

@@ -82,9 +82,10 @@ std::unique_ptr<PolicyWorkspace> DemtPolicy::make_workspace() const {
 void DemtPolicy::schedule_into(const Instance& batch, PolicyWorkspace& ws,
                                FlatPlacements& out) const {
   auto& demt_ws = static_cast<DemtPolicyWorkspace&>(ws);
-  DemtResult result = demt_schedule(batch, options_, demt_ws.demt);
-  ws.last_diag = result.diag;
-  out.assign_from(result.schedule);
+  // Flat end to end: the driver writes the winning per-task placements
+  // straight into the engine's pooled FlatPlacements — no intermediate
+  // Schedule, no per-request allocation once the workspace is warm.
+  demt_schedule_into(batch, options_, demt_ws.demt, out, ws.last_diag);
 }
 
 const void* DemtPolicy::workspace_key() const noexcept {

@@ -2,46 +2,59 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace moldsched {
+namespace {
 
-CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
-                           const InstanceAllotments& tables,
-                           DualTestWorkspace& ws) {
+void validate_search_args(const Instance& instance, double rel_eps) {
   if (instance.empty()) {
     throw std::invalid_argument("estimate_cmax: empty instance");
   }
   if (!(rel_eps > 0.0)) {
     throw std::invalid_argument("estimate_cmax: rel_eps must be positive");
   }
+}
 
-  CmaxEstimate out;
-  // Two rotating partition buffers: `trial` receives each test, `best`
-  // keeps the last accepted guess. Swapping (never reallocating) keeps the
-  // whole search allocation-free after the first test sizes the buffers.
-  DualTestResult trial;
-  DualTestResult best;
-  const auto test = [&](double lambda) -> DualTestResult& {
-    ++out.dual_tests;
-    dual_test_into(instance, lambda, tables, ws, trial);
-    return trial;
-  };
-
-  // Combinatorial lower bounds: the machine must absorb the minimal total
-  // work, and every task needs at least its fastest execution time.
+double combinatorial_lower_bound(const Instance& instance) {
+  // The machine must absorb the minimal total work, and every task needs at
+  // least its fastest execution time.
   double lb = instance.total_min_work() / instance.procs();
   for (const auto& task : instance.tasks()) {
     lb = std::max(lb, task.min_time());
   }
+  return lb;
+}
 
+}  // namespace
+
+void estimate_cmax_into(const Instance& instance, double rel_eps,
+                        const InstanceAllotments& tables,
+                        DualTestWorkspace& ws, CmaxEstimate& out) {
+  validate_search_args(instance, rel_eps);
+
+  out.estimate = 0.0;
+  out.lower_bound = 0.0;
+  out.dual_tests = 0;
+  // Two rotating partition buffers: ws.scratch receives each test,
+  // out.partition keeps the last accepted guess. Swapping (never
+  // reallocating) keeps the whole search allocation-free once both buffers
+  // are warm.
+  const auto test = [&](double lambda) -> DualTestResult& {
+    ++out.dual_tests;
+    dual_test_into(instance, lambda, tables, ws, ws.scratch);
+    return ws.scratch;
+  };
+
+  const double lb = combinatorial_lower_bound(instance);
   out.lower_bound = lb;
 
   // If the dual test already accepts the combinatorial bound, it is also
   // the estimate — no schedule can beat it.
   if (test(lb).feasible) {
     out.estimate = lb;
-    out.partition = std::move(trial);
-    return out;
+    std::swap(out.partition, ws.scratch);
+    return;
   }
 
   // Exponential search for an accepted guess, then bisection. `lo` is
@@ -55,13 +68,13 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
       throw std::logic_error("estimate_cmax: dual test never accepts");
     }
   }
-  std::swap(best, trial);
+  std::swap(out.partition, ws.scratch);
 
   while (hi - lo > rel_eps * hi) {
     const double mid = 0.5 * (lo + hi);
     if (test(mid).feasible) {
       hi = mid;
-      std::swap(best, trial);
+      std::swap(out.partition, ws.scratch);
     } else {
       lo = mid;
     }
@@ -69,7 +82,13 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
 
   out.estimate = hi;
   out.lower_bound = std::max(lb, lo);
-  out.partition = std::move(best);
+}
+
+CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps,
+                           const InstanceAllotments& tables,
+                           DualTestWorkspace& ws) {
+  CmaxEstimate out;
+  estimate_cmax_into(instance, rel_eps, tables, ws, out);
   return out;
 }
 
@@ -85,6 +104,53 @@ CmaxEstimate estimate_cmax(const Instance& instance, double rel_eps) {
   }
   const InstanceAllotments tables(instance);
   return estimate_cmax(instance, rel_eps, tables);
+}
+
+CmaxEstimate estimate_cmax_reference(const Instance& instance,
+                                     double rel_eps) {
+  validate_search_args(instance, rel_eps);
+
+  CmaxEstimate out;
+  DualTestResult trial;
+  const auto test = [&](double lambda) -> DualTestResult& {
+    ++out.dual_tests;
+    trial = dual_test_reference(instance, lambda);
+    return trial;
+  };
+
+  const double lb = combinatorial_lower_bound(instance);
+  out.lower_bound = lb;
+
+  if (test(lb).feasible) {
+    out.estimate = lb;
+    out.partition = std::move(trial);
+    return out;
+  }
+
+  double lo = lb;
+  double hi = lb * 2.0;
+  while (!test(hi).feasible) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > lb * 1e9 * 2.0) {
+      throw std::logic_error("estimate_cmax: dual test never accepts");
+    }
+  }
+  out.partition = trial;
+
+  while (hi - lo > rel_eps * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (test(mid).feasible) {
+      hi = mid;
+      out.partition = trial;
+    } else {
+      lo = mid;
+    }
+  }
+
+  out.estimate = hi;
+  out.lower_bound = std::max(lb, lo);
+  return out;
 }
 
 }  // namespace moldsched

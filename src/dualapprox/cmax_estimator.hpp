@@ -51,4 +51,21 @@ struct CmaxEstimate {
                                          const InstanceAllotments& tables,
                                          DualTestWorkspace& ws);
 
+/// Fully pooled form: identical search, but the result lands in `out`
+/// whose partition buffer is reused across calls (it doubles as the
+/// accepted-guess rotation buffer together with ws.scratch). Zero heap
+/// allocation once `ws` and `out` are warm — this is what
+/// demt_schedule_into calls per request.
+void estimate_cmax_into(const Instance& instance, double rel_eps,
+                        const InstanceAllotments& tables,
+                        DualTestWorkspace& ws, CmaxEstimate& out);
+
+/// Reference search: same trajectory driven entirely by the scalar
+/// dual_test_reference (scan-based lookups, budget-outer DP). The
+/// differential suite asserts estimate/lower_bound/partition/dual_tests all
+/// match the vectorized search bit-for-bit. Allocates freely; test use
+/// only.
+[[nodiscard]] CmaxEstimate estimate_cmax_reference(const Instance& instance,
+                                                   double rel_eps = 1e-4);
+
 }  // namespace moldsched

@@ -10,33 +10,20 @@ namespace moldsched {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::int16_t kShelf2 = -1;
+constexpr std::int16_t kUnreachable = -2;
 
-/// Shared implementation; `tables` may be null (scan-based lookups). Runs
-/// entirely inside `ws` — the only allocations are capacity growth on the
-/// first call at a given (n, m) and `out.assignment` growth.
-///
-/// Soundness of the rejection certificate: any schedule of length lambda
-/// induces a partition where "long" tasks (running more than lambda/2) all
-/// overlap the midpoint, hence their true allotments sum to <= m, and every
-/// "short" task has a lambda/2-feasible allotment. The DP minimises total
-/// work over a superset of those partitions, so min-work > m*lambda (or no
-/// partition at all) refutes the guess for ANY task structure, monotone or
-/// not.
-void dual_test_impl(const Instance& instance, double lambda,
-                    const InstanceAllotments* tables, DualTestWorkspace& ws,
-                    DualTestResult& out) {
-  if (!(lambda > 0.0)) {
-    throw std::invalid_argument("dual_test: lambda must be positive");
-  }
+/// Build the per-task shelf choices, pooled flat in `ws`: shelf-1 Pareto
+/// options (increasing processor count with strictly decreasing work; for
+/// monotone tasks a singleton found by binary search) and the min-work
+/// lambda/2 allotment. `tables` may be null (scan-based lookups). Returns
+/// false when some task cannot meet lambda at all — an immediate reject.
+/// Shared verbatim by the vectorized and reference DPs: the rewrite only
+/// touched the DP loop order, not the option construction.
+bool build_shelf_options(const Instance& instance, double lambda,
+                         const InstanceAllotments* tables,
+                         DualTestWorkspace& ws) {
   const int n = instance.num_tasks();
-  const int m = instance.procs();
-  out.feasible = false;
-  out.total_work = 0.0;
-  out.assignment.assign(static_cast<std::size_t>(n), ShelfAssignment{});
-
-  // Per-task choices, pooled flat: shelf-1 Pareto options (increasing
-  // processor count with strictly decreasing work; for monotone tasks a
-  // singleton found by binary search) and the min-work lambda/2 allotment.
   ws.opt_procs.clear();
   ws.opt_work.clear();
   ws.opt_begin.assign(static_cast<std::size_t>(n) + 1, 0);
@@ -50,7 +37,7 @@ void dual_test_impl(const Instance& instance, double lambda,
       // none of them beats the canonical work — the Pareto set is a
       // singleton.
       const int c1 = tables->table(i).canonical(lambda);
-      if (c1 == 0) return;  // cannot meet lambda: reject
+      if (c1 == 0) return false;  // cannot meet lambda: reject
       ws.opt_procs.push_back(c1);
       ws.opt_work.push_back(task.work(c1));
     } else {
@@ -62,7 +49,7 @@ void dual_test_impl(const Instance& instance, double lambda,
         ws.opt_procs.push_back(k);
         ws.opt_work.push_back(w);
       }
-      if (ws.opt_procs.size() == begin) return;  // cannot meet lambda: reject
+      if (ws.opt_procs.size() == begin) return false;  // reject
     }
     ws.opt_begin[static_cast<std::size_t>(i) + 1] =
         static_cast<int>(ws.opt_procs.size());
@@ -74,12 +61,141 @@ void dual_test_impl(const Instance& instance, double lambda,
       ws.shelf2_procs[static_cast<std::size_t>(i)] = g2;
     }
   }
+  return true;
+}
+
+/// Feasibility check + partition reconstruction from the final DP row and
+/// the pick matrix. Identical for both DP variants (they fill the same
+/// cells with the same values).
+void finish_from_dp(double lambda, int n, int m, DualTestWorkspace& ws,
+                    DualTestResult& out) {
+  const std::size_t row = static_cast<std::size_t>(m) + 1;
+  if (ws.dp[static_cast<std::size_t>(m)] >= kInf) {
+    return;  // even ignoring work, shelf-1 demand cannot fit: reject
+  }
+  out.total_work = ws.dp[static_cast<std::size_t>(m)];
+  out.feasible =
+      out.total_work <= static_cast<double>(m) * lambda * (1.0 + 1e-12);
+  if (!out.feasible) return;
+
+  // Reconstruct the work-minimising partition.
+  // Walk budgets backwards: at task i with budget j, the recorded pick
+  // tells which option produced dp_i[j]; dp arrays are rebuilt implicitly
+  // by the monotone budget walk.
+  int j = m;
+  for (int i = n - 1; i >= 0; --i) {
+    const std::int16_t p =
+        ws.pick[static_cast<std::size_t>(i) * row + static_cast<std::size_t>(j)];
+    if (p == kUnreachable) {
+      throw std::logic_error("dual_test: broken DP reconstruction");
+    }
+    if (p == kShelf2) {
+      out.assignment[static_cast<std::size_t>(i)] = ShelfAssignment{
+          Shelf::Small, ws.shelf2_procs[static_cast<std::size_t>(i)]};
+    } else {
+      const auto o =
+          static_cast<std::size_t>(ws.opt_begin[i]) + static_cast<std::size_t>(p);
+      out.assignment[static_cast<std::size_t>(i)] =
+          ShelfAssignment{Shelf::Large, ws.opt_procs[o]};
+      j -= ws.opt_procs[o];
+    }
+  }
+}
+
+/// Vectorized implementation; `tables` may be null. Runs entirely inside
+/// `ws` — the only allocations are capacity growth on the first call at a
+/// given (n, m) and `out.assignment` growth.
+///
+/// Soundness of the rejection certificate: any schedule of length lambda
+/// induces a partition where "long" tasks (running more than lambda/2) all
+/// overlap the midpoint, hence their true allotments sum to <= m, and every
+/// "short" task has a lambda/2-feasible allotment. The DP minimises total
+/// work over a superset of those partitions, so min-work > m*lambda (or no
+/// partition at all) refutes the guess for ANY task structure, monotone or
+/// not.
+///
+/// The DP is the reference recurrence with the loops interchanged: instead
+/// of computing each budget cell by scanning its options, each option makes
+/// one contiguous row sweep over budgets [cost..m] with select updates.
+/// Per cell the comparison sequence is unchanged — shelf-2 seed first, then
+/// options in ascending order, each a strict `<` against the running best —
+/// so every cell receives the bit-identical value and pick. Infinities
+/// stay well-behaved: base = +inf gives candidate = +inf, and +inf < best
+/// is false even when best is +inf, matching the reference's explicit
+/// finiteness guards (no NaN can arise; work values are finite and
+/// non-negative).
+void dual_test_vec_impl(const Instance& instance, double lambda,
+                        const InstanceAllotments* tables,
+                        DualTestWorkspace& ws, DualTestResult& out) {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("dual_test: lambda must be positive");
+  }
+  const int n = instance.num_tasks();
+  const int m = instance.procs();
+  out.feasible = false;
+  out.total_work = 0.0;
+  out.assignment.assign(static_cast<std::size_t>(n), ShelfAssignment{});
+
+  if (!build_shelf_options(instance, lambda, tables, ws)) return;
 
   // DP over the shelf-1 processor budget: dp[j] = min total work when
   // shelf-1 allotments sum to <= j. Option index per (task, budget) for
   // reconstruction; kShelf2 means the task stayed in shelf 2.
-  constexpr std::int16_t kShelf2 = -1;
-  constexpr std::int16_t kUnreachable = -2;
+  const std::size_t row = static_cast<std::size_t>(m) + 1;
+  ws.dp.assign(row, 0.0);
+  ws.next.resize(row);
+  ws.pick.assign(static_cast<std::size_t>(n) * row, kUnreachable);
+
+  for (int i = 0; i < n; ++i) {
+    const auto begin = static_cast<std::size_t>(ws.opt_begin[i]);
+    const auto end = static_cast<std::size_t>(ws.opt_begin[i + 1]);
+    const double shelf2 = ws.shelf2_work[static_cast<std::size_t>(i)];
+    const double* dp = ws.dp.data();
+    double* next = ws.next.data();
+    std::int16_t* pick_row =
+        ws.pick.data() + static_cast<std::size_t>(i) * row;
+    // Seed row: the shelf-2 branch for every budget.
+    for (std::size_t j = 0; j < row; ++j) {
+      const double cand = dp[j] + shelf2;
+      const bool ok = cand < kInf;
+      next[j] = ok ? cand : kInf;
+      pick_row[j] = ok ? kShelf2 : kUnreachable;
+    }
+    // One row sweep per shelf-1 option, ascending (preserves the
+    // reference's option visit order per cell).
+    for (std::size_t o = begin; o < end; ++o) {
+      const auto cost = static_cast<std::size_t>(ws.opt_procs[o]);
+      const double w = ws.opt_work[o];
+      const auto id = static_cast<std::int16_t>(o - begin);
+      for (std::size_t j = cost; j < row; ++j) {
+        const double cand = dp[j - cost] + w;
+        const bool better = cand < next[j];
+        next[j] = better ? cand : next[j];
+        pick_row[j] = better ? id : pick_row[j];
+      }
+    }
+    ws.dp.swap(ws.next);
+  }
+
+  finish_from_dp(lambda, n, m, ws, out);
+}
+
+/// Original scalar DP (budget-outer, option scan with early break and
+/// conditional updates), preserved verbatim as the reference.
+void dual_test_reference_impl(const Instance& instance, double lambda,
+                              const InstanceAllotments* tables,
+                              DualTestWorkspace& ws, DualTestResult& out) {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("dual_test: lambda must be positive");
+  }
+  const int n = instance.num_tasks();
+  const int m = instance.procs();
+  out.feasible = false;
+  out.total_work = 0.0;
+  out.assignment.assign(static_cast<std::size_t>(n), ShelfAssignment{});
+
+  if (!build_shelf_options(instance, lambda, tables, ws)) return;
+
   const std::size_t row = static_cast<std::size_t>(m) + 1;
   ws.dp.assign(row, 0.0);
   ws.next.resize(row);
@@ -114,36 +230,7 @@ void dual_test_impl(const Instance& instance, double lambda,
     ws.dp.swap(ws.next);
   }
 
-  if (ws.dp[static_cast<std::size_t>(m)] >= kInf) {
-    return;  // even ignoring work, shelf-1 demand cannot fit: reject
-  }
-  out.total_work = ws.dp[static_cast<std::size_t>(m)];
-  out.feasible =
-      out.total_work <= static_cast<double>(m) * lambda * (1.0 + 1e-12);
-  if (!out.feasible) return;
-
-  // Reconstruct the work-minimising partition.
-  // Walk budgets backwards: at task i with budget j, the recorded pick
-  // tells which option produced dp_i[j]; dp arrays are rebuilt implicitly
-  // by the monotone budget walk.
-  int j = m;
-  for (int i = n - 1; i >= 0; --i) {
-    const std::int16_t p =
-        ws.pick[static_cast<std::size_t>(i) * row + static_cast<std::size_t>(j)];
-    if (p == kUnreachable) {
-      throw std::logic_error("dual_test: broken DP reconstruction");
-    }
-    if (p == kShelf2) {
-      out.assignment[static_cast<std::size_t>(i)] = ShelfAssignment{
-          Shelf::Small, ws.shelf2_procs[static_cast<std::size_t>(i)]};
-    } else {
-      const auto o =
-          static_cast<std::size_t>(ws.opt_begin[i]) + static_cast<std::size_t>(p);
-      out.assignment[static_cast<std::size_t>(i)] =
-          ShelfAssignment{Shelf::Large, ws.opt_procs[o]};
-      j -= ws.opt_procs[o];
-    }
-  }
+  finish_from_dp(lambda, n, m, ws, out);
 }
 
 }  // namespace
@@ -151,7 +238,7 @@ void dual_test_impl(const Instance& instance, double lambda,
 DualTestResult dual_test(const Instance& instance, double lambda) {
   DualTestWorkspace ws;
   DualTestResult result;
-  dual_test_impl(instance, lambda, nullptr, ws, result);
+  dual_test_vec_impl(instance, lambda, nullptr, ws, result);
   return result;
 }
 
@@ -159,14 +246,29 @@ DualTestResult dual_test(const Instance& instance, double lambda,
                          const InstanceAllotments& tables) {
   DualTestWorkspace ws;
   DualTestResult result;
-  dual_test_impl(instance, lambda, &tables, ws, result);
+  dual_test_vec_impl(instance, lambda, &tables, ws, result);
   return result;
 }
 
 void dual_test_into(const Instance& instance, double lambda,
                     const InstanceAllotments& tables, DualTestWorkspace& ws,
                     DualTestResult& out) {
-  dual_test_impl(instance, lambda, &tables, ws, out);
+  dual_test_vec_impl(instance, lambda, &tables, ws, out);
+}
+
+DualTestResult dual_test_reference(const Instance& instance, double lambda) {
+  DualTestWorkspace ws;
+  DualTestResult result;
+  dual_test_reference_impl(instance, lambda, nullptr, ws, result);
+  return result;
+}
+
+DualTestResult dual_test_reference(const Instance& instance, double lambda,
+                                   const InstanceAllotments& tables) {
+  DualTestWorkspace ws;
+  DualTestResult result;
+  dual_test_reference_impl(instance, lambda, &tables, ws, result);
+  return result;
 }
 
 }  // namespace moldsched

@@ -60,6 +60,9 @@ struct DualTestWorkspace {
   std::vector<double> dp;           ///< DP row over the processor budget
   std::vector<double> next;         ///< DP row being built
   std::vector<std::int16_t> pick;   ///< n x (m+1) option picks, row-major
+  /// Trial-partition buffer for estimate_cmax_into's accept/reject
+  /// rotation; carries capacity only, never state, between calls.
+  DualTestResult scratch;
 };
 
 /// Run the dual test for guess `lambda` (> 0).
@@ -81,5 +84,16 @@ struct DualTestWorkspace {
 void dual_test_into(const Instance& instance, double lambda,
                     const InstanceAllotments& tables, DualTestWorkspace& ws,
                     DualTestResult& out);
+
+/// Original scalar DP (budget-outer loop, per-cell option scan with early
+/// break and conditional updates), retained as the bit-identity reference
+/// for the vectorized row-sweep kernel behind dual_test/dual_test_into.
+/// The table-free overload also uses the original O(max_procs) scan-based
+/// allotment lookups, making it a reference for the SoA tables as well.
+/// Allocates its own buffers; test/differential use only.
+[[nodiscard]] DualTestResult dual_test_reference(const Instance& instance,
+                                                 double lambda);
+[[nodiscard]] DualTestResult dual_test_reference(
+    const Instance& instance, double lambda, const InstanceAllotments& tables);
 
 }  // namespace moldsched

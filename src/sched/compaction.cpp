@@ -104,4 +104,11 @@ int pull_forward(FlatPlacements& flat, int m, CompactionBuffers& buffers) {
   return moved;
 }
 
+FlatMetrics pull_forward_metrics(FlatPlacements& flat, int m,
+                                 CompactionBuffers& buffers,
+                                 const Instance& instance) {
+  (void)pull_forward(flat, m, buffers);
+  return flat.metrics(instance);
+}
+
 }  // namespace moldsched

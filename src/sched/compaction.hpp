@@ -32,4 +32,13 @@ struct CompactionBuffers {
 /// allocating. Returns the number of entries that moved.
 int pull_forward(FlatPlacements& flat, int m, CompactionBuffers& buffers);
 
+/// Compaction + candidate metrics in one call: runs the flat pull-forward
+/// sweep, then the fused metric scan over the final starts. The metric
+/// scan stays a separate entry-order pass (summation order is part of the
+/// bit-identity contract), but both metrics come from a single pass. This
+/// is what each DEMT shuffle candidate evaluation calls.
+FlatMetrics pull_forward_metrics(FlatPlacements& flat, int m,
+                                 CompactionBuffers& buffers,
+                                 const Instance& instance);
+
 }  // namespace moldsched

@@ -45,6 +45,28 @@ double FlatPlacements::weighted_completion_sum(
   return sum;
 }
 
+FlatMetrics FlatPlacements::metrics(const Instance& instance) const noexcept {
+  FlatMetrics out;
+  const double* s = start.data();
+  const double* d = duration.data();
+  for (std::size_t e = 0; e < start.size(); ++e) {
+    const double finish = s[e] + d[e];
+    out.weighted_completion_sum +=
+        instance.task(static_cast<int>(e)).weight() * finish;
+    // Same guard as cmax(): unassigned entries never raise the max.
+    out.cmax = (d[e] > 0.0 && finish > out.cmax) ? finish : out.cmax;
+  }
+  return out;
+}
+
+void FlatPlacements::copy_from(const FlatPlacements& other) {
+  start = other.start;
+  duration = other.duration;
+  proc_begin = other.proc_begin;
+  proc_count = other.proc_count;
+  proc_ids = other.proc_ids;
+}
+
 void FlatPlacements::materialize_into(int m, Schedule& out) const {
   out.reset(m, size());
   for (int e = 0; e < size(); ++e) {

@@ -18,6 +18,13 @@
 
 namespace moldsched {
 
+/// Both schedule metrics from one fused scan (see
+/// FlatPlacements::metrics).
+struct FlatMetrics {
+  double weighted_completion_sum = 0.0;
+  double cmax = 0.0;
+};
+
 struct FlatPlacements {
   /// Per-entry placement; an entry with duration <= 0 is unassigned. The
   /// processor set of entry e is proc_ids[proc_begin[e] .. +proc_count[e]),
@@ -57,6 +64,20 @@ struct FlatPlacements {
   /// and sizes must match (callers in the hot path guarantee both).
   [[nodiscard]] double weighted_completion_sum(
       const Instance& instance) const noexcept;
+
+  /// Fused min/argmin-style scan: one entry-order pass accumulates the
+  /// weighted completion sum and the running max finish together. Per
+  /// element it performs the same adds and the same max comparisons in the
+  /// same order as the two separate scans above, so both results are
+  /// bit-identical to cmax() / weighted_completion_sum() — it just touches
+  /// each cache line once. This is the candidate-metric scan of the DEMT
+  /// shuffle loop.
+  [[nodiscard]] FlatMetrics metrics(const Instance& instance) const noexcept;
+
+  /// Deep-copy `other`, reusing this object's buffer capacity (vector
+  /// copy-assign never reallocates when capacity suffices). The winner
+  /// bookkeeping of demt_schedule_into uses this instead of to_schedule.
+  void copy_from(const FlatPlacements& other);
 
   /// Materialise into a Schedule on m processors (assigned entries only).
   [[nodiscard]] Schedule to_schedule(int m) const;

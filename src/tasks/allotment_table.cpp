@@ -58,10 +58,74 @@ int AllotmentTable::min_work(double deadline) const noexcept {
       [static_cast<std::size_t>(it - sorted_times_.begin()) - 1];
 }
 
-InstanceAllotments::InstanceAllotments(const Instance& instance) {
-  tables_.reserve(static_cast<std::size_t>(instance.num_tasks()));
-  for (const auto& task : instance.tasks()) {
-    tables_.emplace_back(task);
+int InstanceAllotments::View::canonical(double deadline) const noexcept {
+  const double* end = times_ + count_;
+  const double* it = std::upper_bound(times_, end, deadline);
+  if (it == times_) return 0;
+  return min_k_[(it - times_) - 1];
+}
+
+int InstanceAllotments::View::min_work(double deadline) const noexcept {
+  const double* end = times_ + count_;
+  const double* it = std::upper_bound(times_, end, deadline);
+  if (it == times_) return 0;
+  return min_work_k_[(it - times_) - 1];
+}
+
+void InstanceAllotments::build(const Instance& instance) {
+  const int n = instance.num_tasks();
+  begin_.resize(static_cast<std::size_t>(n) + 1);
+  monotone_.resize(static_cast<std::size_t>(n));
+
+  int total = 0;
+  begin_[0] = 0;
+  for (int t = 0; t < n; ++t) {
+    const MoldableTask& task = instance.task(t);
+    total += task.max_procs() - task.min_procs() + 1;
+    begin_[static_cast<std::size_t>(t) + 1] = total;
+  }
+  times_.resize(static_cast<std::size_t>(total));
+  min_k_.resize(static_cast<std::size_t>(total));
+  min_work_k_.resize(static_cast<std::size_t>(total));
+
+  for (int t = 0; t < n; ++t) {
+    const MoldableTask& task = instance.task(t);
+    const int lo = task.min_procs();
+    const int base = begin_[static_cast<std::size_t>(t)];
+    const int count = begin_[static_cast<std::size_t>(t) + 1] - base;
+
+    // Same sort and prefix scans as AllotmentTable, writing into the shared
+    // pools; order_ is reused scratch.
+    order_.resize(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) order_[static_cast<std::size_t>(i)] = lo + i;
+    std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+      const double ta = task.time(a);
+      const double tb = task.time(b);
+      if (ta != tb) return ta < tb;
+      return a < b;
+    });
+
+    double* times = times_.data() + base;
+    int* min_k = min_k_.data() + base;
+    int* min_work_k = min_work_k_.data() + base;
+    int best_k = order_[0];
+    int best_work_k = order_[0];
+    double best_work = best_work_k * task.time(best_work_k);
+    for (int i = 0; i < count; ++i) {
+      const int k = order_[static_cast<std::size_t>(i)];
+      times[i] = task.time(k);
+      best_k = std::min(best_k, k);
+      const double w = k * task.time(k);
+      if (w < best_work || (w == best_work && k < best_work_k)) {
+        best_work = w;
+        best_work_k = k;
+      }
+      min_k[i] = best_k;
+      min_work_k[i] = best_work_k;
+    }
+
+    monotone_[static_cast<std::size_t>(t)] =
+        (task.is_time_monotone(0.0) && task.is_work_monotone(0.0)) ? 1 : 0;
   }
 }
 

@@ -12,9 +12,19 @@
 /// The tables reproduce MoldableTask::canonical_allotment and
 /// ::min_work_allotment bit-for-bit (same comparisons, same tie-breaks), so
 /// swapping them in cannot change any schedule.
+///
+/// Two representations live here:
+///  - AllotmentTable: the original one-vector-per-task form. Kept as the
+///    scalar reference the differential suite (test_demt_kernel) checks the
+///    flat form against; not used on the serving path anymore.
+///  - InstanceAllotments: all tasks' rows packed into contiguous parallel
+///    arrays (structure-of-arrays) with a pooled build() so a warm
+///    DemtWorkspace rebuilds the tables for a new Instance without touching
+///    the allocator. table(t) hands out a lightweight View over the rows.
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "tasks/instance.hpp"
@@ -22,6 +32,8 @@
 
 namespace moldsched {
 
+/// Scalar reference form: one task, its own vectors. Construction and both
+/// queries define the semantics the SoA form must reproduce bit-for-bit.
 class AllotmentTable {
  public:
   AllotmentTable() = default;
@@ -41,6 +53,20 @@ class AllotmentTable {
   /// collapses to the single canonical allotment.
   [[nodiscard]] bool strictly_monotone() const noexcept { return monotone_; }
 
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(sorted_times_.size());
+  }
+  /// Row access for property tests: the i-th (time asc, k asc) entry.
+  [[nodiscard]] double time_at(int i) const noexcept {
+    return sorted_times_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int min_k_at(int i) const noexcept {
+    return prefix_min_k_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int min_work_k_at(int i) const noexcept {
+    return prefix_min_work_k_[static_cast<std::size_t>(i)];
+  }
+
  private:
   /// Allowed allotments sorted by (time asc, k asc); parallel prefix
   /// argmins answer both queries after an upper_bound on the time.
@@ -51,20 +77,67 @@ class AllotmentTable {
 };
 
 /// All tasks' tables, built once per Instance traversal (one DEMT call, one
-/// dual-approximation search) and shared by every stage.
+/// dual-approximation search) and shared by every stage. Rows for all tasks
+/// live in four flat parallel arrays indexed through begin_[task]; build()
+/// reuses the buffers, so a pooled InstanceAllotments allocates only until
+/// its capacity high-water mark is reached.
 class InstanceAllotments {
  public:
-  explicit InstanceAllotments(const Instance& instance);
+  /// Non-owning window onto one task's rows. canonical()/min_work() are the
+  /// same upper_bound + prefix-argmin lookups as AllotmentTable.
+  class View {
+   public:
+    View(const double* times, const int* min_k, const int* min_work_k,
+         int count, bool monotone) noexcept
+        : times_(times),
+          min_k_(min_k),
+          min_work_k_(min_work_k),
+          count_(count),
+          monotone_(monotone) {}
 
-  [[nodiscard]] const AllotmentTable& table(int task) const {
-    return tables_[static_cast<std::size_t>(task)];
+    [[nodiscard]] int canonical(double deadline) const noexcept;
+    [[nodiscard]] int min_work(double deadline) const noexcept;
+    [[nodiscard]] bool strictly_monotone() const noexcept { return monotone_; }
+
+    [[nodiscard]] int size() const noexcept { return count_; }
+    [[nodiscard]] double time_at(int i) const noexcept { return times_[i]; }
+    [[nodiscard]] int min_k_at(int i) const noexcept { return min_k_[i]; }
+    [[nodiscard]] int min_work_k_at(int i) const noexcept {
+      return min_work_k_[i];
+    }
+
+   private:
+    const double* times_;
+    const int* min_k_;
+    const int* min_work_k_;
+    int count_;
+    bool monotone_;
+  };
+
+  InstanceAllotments() = default;
+  explicit InstanceAllotments(const Instance& instance) { build(instance); }
+
+  /// Rebuild all rows for `instance`, reusing the flat buffers. Allocation
+  /// free once the buffers have grown to the workload's high-water mark.
+  void build(const Instance& instance);
+
+  [[nodiscard]] View table(int task) const noexcept {
+    const auto t = static_cast<std::size_t>(task);
+    const int b = begin_[t];
+    return View(times_.data() + b, min_k_.data() + b, min_work_k_.data() + b,
+                begin_[t + 1] - b, monotone_[t] != 0);
   }
   [[nodiscard]] int num_tasks() const noexcept {
-    return static_cast<int>(tables_.size());
+    return static_cast<int>(monotone_.size());
   }
 
  private:
-  std::vector<AllotmentTable> tables_;
+  std::vector<int> begin_;         ///< row offsets, size num_tasks + 1
+  std::vector<double> times_;      ///< all tasks' sorted times, concatenated
+  std::vector<int> min_k_;         ///< prefix argmin-k per row
+  std::vector<int> min_work_k_;    ///< prefix min-work-k per row
+  std::vector<std::uint8_t> monotone_;
+  std::vector<int> order_;         ///< build scratch: allotment sort keys
 };
 
 }  // namespace moldsched
