@@ -332,6 +332,36 @@ int main(int argc, char** argv) {
     g_results.push_back(result);
   }
 
+  // Cold-path allocation budget: one demt_schedule call through the
+  // convenience form, which builds a fresh DemtWorkspace every time — the
+  // opposite of the pooled serving path. Measured on the serving baseline
+  // shape (n=60, m=32 — the BENCH_serve default): the count is all
+  // workspace sizing (tables, DP rows, pick matrix, placement buffers),
+  // ≈346 today. Informational gate with generous head room (~2x the
+  // recorded figure): it trips only when a change turns workspace sizing
+  // into per-element churn.
+  bool cold_alloc_ok = true;
+  {
+    const int n = 60;
+    const Instance instance = make_instance(n, 32, WorkloadFamily::Cirne, 6);
+    (void)demt_schedule(instance);  // settle any one-time static state
+    const std::uint64_t before = g_alloc_count.load();
+    (void)demt_schedule(instance);
+    const double cold_allocs =
+        kAllocHookEnabled
+            ? static_cast<double>(g_alloc_count.load() - before)
+            : -1.0;
+    std::cout << strfmt("%-28s n=%4d  allocs/cold-call = %.0f\n",
+                        "demt_no_workspace_reuse", n, cold_allocs);
+    BenchResult result;
+    result.name = "demt_no_workspace_reuse";
+    result.n = n;
+    result.reps = 1;
+    result.allocs_per_call = cold_allocs;
+    g_results.push_back(result);
+    if (kAllocHookEnabled && cold_allocs > 700.0) cold_alloc_ok = false;
+  }
+
   // Distinct default from fig7_runtime's BENCH_demt.json (different
   // schema); running both benches must not clobber either report.
   const std::string json_path =
@@ -364,6 +394,11 @@ int main(int argc, char** argv) {
     std::cerr << strfmt("ERROR: fused metric scan slower than 1.5x the "
                         "split scans (%.3f us vs %.3f us per call)\n",
                         metrics_fused_s * 1e6, metrics_split_s * 1e6);
+    ok = false;
+  }
+  if (!cold_alloc_ok) {
+    std::cerr << "ERROR: cold demt_schedule call blew its allocation "
+                 "budget (workspace sizing should stay near ~350 allocs)\n";
     ok = false;
   }
   return ok ? 0 : 1;

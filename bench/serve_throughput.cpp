@@ -65,6 +65,7 @@ Flags
   --faults S        chaos-smoke fault-plan seed                [= --seed]
   --quick           small preset (24 requests, 2 reps)
   --zipf            decision-cache section: Zipf recurring shapes
+  --speculate       stream-speculation section: sparse-watermark tape
   --json PATH       JSON report path ("" disables)             [BENCH_serve.json]
   --help            this text
 
@@ -88,14 +89,28 @@ reference for every shard count, steady-state hit rate >= 0.80, and 0.00
 allocs/request on the pure-hit DEMT metrics-only path — while reporting
 the cache-off vs cache-on throughput delta.
 
+With --speculate, a stream-speculation section (StreamOptions::speculate)
+also runs: a sparse-watermark DEMT stream — every feed carries one batch
+of arrivals with the watermark held exactly at the batch's open instant,
+so each decision becomes final only at the *next* feed — is served twice,
+speculation off and on, and the run exit-gates three contracts:
+speculate-on deliveries bit-identical to speculate-off, speculation
+actually firing (staged + committed decisions > 0), and 0.00
+allocs/feed at steady state with speculation on. It reports the
+feed-to-decision latency percentiles of both modes (the latency of the
+feeds that deliver finalised batch decisions): with speculation the
+confirming feed only replays the staged decision, so its p99 drops.
+
 Exit status: non-zero when any async result differs from the synchronous
 reference (enum or policy-object path), when the chaos-smoke run loses,
 duplicates, or mis-delivers a request or stream feed, when a --zipf
-cache gate fails (identity, hit rate, or hit-path allocations), or when
-the steady-state metrics-only FlatList path with priority lanes active
-allocates (allocation counting is compiled out under AddressSanitizer and
-reported as -1: sanitized builds gate determinism and admission only;
-the same applies to the --zipf hit-path allocation gate).
+cache gate fails (identity, hit rate, or hit-path allocations), when a
+--speculate gate fails (identity, speculation counters, or steady-state
+feed allocations), or when the steady-state metrics-only FlatList path
+with priority lanes active allocates (allocation counting is compiled
+out under AddressSanitizer and reported as -1: sanitized builds gate
+determinism and admission only; the same applies to the --zipf hit-path
+and --speculate allocation gates).
 )";
 
 struct Percentiles {
@@ -894,6 +909,188 @@ int main(int argc, char** argv) {
     all_ok &= zipf_identical && hit_rate_ok && allocs_ok;
   }
 
+  // --- stream speculation on a sparse-watermark tape (--speculate) -----
+  // Every feed carries one DEMT batch of arrivals with the watermark held
+  // exactly at the batch's open instant, so the decision becomes final
+  // only at the next feed. Speculation decides the batch during the feed
+  // that delivered its arrivals; the confirming feed then just replays
+  // the staged placements, so the feed-to-decision latency (latency of
+  // the feeds that deliver finalised decisions) drops. Exit gates:
+  // deliveries bit-identical off vs on, speculation firing for real
+  // (decided + committed > 0), and 0.00 allocs/feed at steady state with
+  // speculation on.
+  struct SpeculationReport {
+    bool ran = false;
+    int batches = 0;
+    int per_batch = 0;
+    bool identical = true;
+    std::uint64_t decided = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t rolled_back = 0;
+    Percentiles off_ms;  ///< feed-to-decision, speculation off
+    Percentiles on_ms;   ///< feed-to-decision, speculation on
+    double allocs_per_feed = -1.0;
+  };
+  SpeculationReport spec;
+  if (args.has("speculate")) {
+    spec.ran = true;
+    spec.batches = args.has("quick") ? 6 : 12;
+    spec.per_batch = args.has("quick") ? 48 : 96;
+
+    // The tape: per_batch moldable arrivals at each batch instant, one
+    // feed per instant, watermark pinned to the instant itself (sparse).
+    struct SpecFeed {
+      std::vector<StreamArrival> arrivals;
+      double watermark = 0.0;
+    };
+    Rng spec_rng(seed ^ 0x53504543ULL);  // "SPEC"
+    std::vector<SpecFeed> tape(static_cast<std::size_t>(spec.batches));
+    for (int b = 0; b < spec.batches; ++b) {
+      const double release = 10.0 * b;
+      auto& feed = tape[static_cast<std::size_t>(b)];
+      feed.watermark = release;
+      for (int j = 0; j < spec.per_batch; ++j) {
+        Instance tmp = generate_instance(
+            families[static_cast<std::size_t>(j) % families.size()], 1, m,
+            spec_rng);
+        feed.arrivals.push_back(moldable_arrival(tmp.task(0), release));
+      }
+    }
+
+    AsyncOptions options;
+    options.shards = 1;
+    options.max_batch = max_batch;
+    options.flush_after_ms = 0.0;  // dispatch every feed immediately
+    options.queue_capacity = 8;    // small slot ring: warm-up visits every slot
+    options.max_streams = 4;
+    AsyncScheduler async(options);
+
+    // One tape pass: open, feed each instant (waited, so the latency is
+    // pure decide time, not queueing), close. Feeds whose delivery holds
+    // newly finalised batch jobs are the decision points the client
+    // waits on — their latency is what speculation is meant to cut.
+    StreamDelivery delivery;
+    const auto run_tape = [&](bool speculate,
+                              std::vector<StreamDelivery>* deliveries,
+                              std::vector<double>* decision_ms) {
+      StreamOptions stream_options;
+      stream_options.m = m;
+      stream_options.offline_algorithm = EngineAlgorithm::Demt;
+      stream_options.demt = demt_options;
+      stream_options.speculate = speculate;
+      const StreamTicket stream = async.open_stream(stream_options);
+      if (!stream.accepted()) return false;
+      bool ok = true;
+      for (const SpecFeed& feed : tape) {
+        const Ticket ticket =
+            async.submit_stream(stream, feed.arrivals.data(),
+                                feed.arrivals.size(), feed.watermark);
+        ok &= ticket.accepted() && async.wait(ticket) == TicketStatus::Done;
+        const double ms = async.latency_seconds(ticket) * 1e3;  // pre-take
+        ok &= async.take_stream(ticket, delivery);
+        if (decision_ms != nullptr && delivery.num_jobs() > 0) {
+          decision_ms->push_back(ms);
+        }
+        if (deliveries != nullptr) deliveries->push_back(delivery);
+      }
+      const Ticket close = async.close_stream(stream);
+      ok &= close.accepted() && async.wait(close) == TicketStatus::Done;
+      const double close_ms = async.latency_seconds(close) * 1e3;
+      ok &= async.take_stream(close, delivery);
+      if (decision_ms != nullptr && delivery.num_jobs() > 0) {
+        decision_ms->push_back(close_ms);
+      }
+      if (deliveries != nullptr) deliveries->push_back(delivery);
+      return ok;
+    };
+
+    // Bit-identity: one pass per mode, every delivery field compared.
+    std::vector<StreamDelivery> off_deliveries;
+    std::vector<StreamDelivery> on_deliveries;
+    spec.identical &= run_tape(false, &off_deliveries, nullptr);
+    spec.identical &= run_tape(true, &on_deliveries, nullptr);
+    spec.identical &= off_deliveries.size() == on_deliveries.size();
+    if (spec.identical) {
+      for (std::size_t d = 0; d < off_deliveries.size(); ++d) {
+        const StreamDelivery& a = off_deliveries[d];
+        const StreamDelivery& b = on_deliveries[d];
+        spec.identical &=
+            a.first_job == b.first_job &&
+            a.placements.start == b.placements.start &&
+            a.placements.duration == b.placements.duration &&
+            a.placements.proc_begin == b.placements.proc_begin &&
+            a.placements.proc_count == b.placements.proc_count &&
+            a.placements.proc_ids == b.placements.proc_ids &&
+            a.completion == b.completion &&
+            a.batch_starts == b.batch_starts &&
+            a.cmax == b.cmax &&
+            a.weighted_completion_sum == b.weighted_completion_sum &&
+            a.weighted_flow_sum == b.weighted_flow_sum &&
+            a.num_batches == b.num_batches &&
+            a.final_delivery == b.final_delivery;
+      }
+    }
+
+    // Feed-to-decision latency, reps passes per mode (warm-up pass each).
+    std::vector<double> off_ms;
+    std::vector<double> on_ms;
+    off_ms.reserve(static_cast<std::size_t>(spec.batches * reps));
+    on_ms.reserve(static_cast<std::size_t>(spec.batches * reps));
+    (void)run_tape(false, nullptr, nullptr);
+    for (int r = 0; r < reps; ++r) (void)run_tape(false, nullptr, &off_ms);
+    (void)run_tape(true, nullptr, nullptr);
+    for (int r = 0; r < reps; ++r) (void)run_tape(true, nullptr, &on_ms);
+    spec.off_ms = percentiles(off_ms);
+    spec.on_ms = percentiles(on_ms);
+    const AsyncStats stats = async.stats();
+    spec.decided = stats.spec_decided;
+    spec.committed = stats.spec_committed;
+    spec.rolled_back = stats.spec_rolled_back;
+
+    // Steady-state allocations with speculation on: after warm-up rounds
+    // that cycle every pooled slot and session (same tape size each round,
+    // so the staged-record pool, fill scratch and delivery buffers are all
+    // sized), further passes must not touch the allocator.
+    if (kAllocHookEnabled) {
+      for (int r = 0; r < 16; ++r) (void)run_tape(true, nullptr, nullptr);
+      const std::uint64_t before = g_alloc_count.load();
+      for (int r = 0; r < reps; ++r) (void)run_tape(true, nullptr, nullptr);
+      spec.allocs_per_feed =
+          static_cast<double>(g_alloc_count.load() - before) /
+          static_cast<double>((spec.batches + 1) * reps);
+    }
+
+    const bool spec_fired = spec.decided > 0 && spec.committed > 0;
+    const bool spec_allocs_ok =
+        !kAllocHookEnabled || spec.allocs_per_feed == 0.0;
+    std::cout << strfmt(
+        "\n# speculation (sparse watermark, %d batches x %d jobs, demt):\n"
+        "#   deliveries identical off vs on: %s\n"
+        "#   staged %llu, committed %llu, rolled back %llu -> %s\n"
+        "#   feed-to-decision p50/p99 ms: off %.3f/%.3f, on %.3f/%.3f\n"
+        "#   allocs/feed at steady state (speculate on): %.2f -> %s\n",
+        spec.batches, spec.per_batch, spec.identical ? "yes" : "NO",
+        static_cast<unsigned long long>(spec.decided),
+        static_cast<unsigned long long>(spec.committed),
+        static_cast<unsigned long long>(spec.rolled_back),
+        spec_fired ? "ok" : "FAIL", spec.off_ms.p50, spec.off_ms.p99,
+        spec.on_ms.p50, spec.on_ms.p99, spec.allocs_per_feed,
+        spec_allocs_ok ? "ok" : "FAIL");
+    if (!spec.identical) {
+      std::cerr << "ERROR: speculate-on deliveries differ from "
+                   "speculate-off\n";
+    }
+    if (!spec_fired) {
+      std::cerr << "ERROR: speculation never staged/committed a decision "
+                   "on the sparse-watermark tape\n";
+    }
+    if (!spec_allocs_ok) {
+      std::cerr << "ERROR: speculative stream serving allocated at steady "
+                   "state\n";
+    }
+    all_ok &= spec.identical && spec_fired && spec_allocs_ok;
+  }
+
   const std::string json_path = args.get_string("json", "BENCH_serve.json");
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -1005,6 +1202,25 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(zipf.misses),
           static_cast<unsigned long long>(zipf.evictions), zipf.hit_rate,
           zipf.off_per_s, zipf.on_per_s, zipf.allocs_per_request_on_hit);
+    }
+    if (spec.ran) {
+      out << strfmt(
+          "  \"speculation\": {\"batches\": %d, \"per_batch\": %d, "
+          "\"identical\": %s,\n"
+          "    \"decided\": %llu, \"committed\": %llu, "
+          "\"rolled_back\": %llu,\n"
+          "    \"feed_to_decision_ms_off\": {\"p50\": %.3f, \"p90\": %.3f, "
+          "\"p99\": %.3f, \"max\": %.3f},\n"
+          "    \"feed_to_decision_ms_on\": {\"p50\": %.3f, \"p90\": %.3f, "
+          "\"p99\": %.3f, \"max\": %.3f},\n"
+          "    \"allocs_per_feed\": %.2f},\n",
+          spec.batches, spec.per_batch, spec.identical ? "true" : "false",
+          static_cast<unsigned long long>(spec.decided),
+          static_cast<unsigned long long>(spec.committed),
+          static_cast<unsigned long long>(spec.rolled_back), spec.off_ms.p50,
+          spec.off_ms.p90, spec.off_ms.p99, spec.off_ms.max, spec.on_ms.p50,
+          spec.on_ms.p90, spec.on_ms.p99, spec.on_ms.max,
+          spec.allocs_per_feed);
     }
     out << strfmt(
         "  \"allocs\": [\n    {\"path\": \"serve_flatlist_metrics_only\", "

@@ -147,6 +147,21 @@ void with_stream_policy(EngineStreamState& state, EngineWorkspace& ws,
   }
 }
 
+/// Fold a session's cumulative speculation counters into the engine stats
+/// as deltas since the last harvest (sessions are pooled and their own
+/// counters reset at open/restore, so the engine tracks what it has seen).
+void harvest_speculation(EngineStreamState& state, EngineStats& stats) {
+  const std::uint64_t decided = state.sim.speculated_batches();
+  const std::uint64_t committed = state.sim.committed_speculations();
+  const std::uint64_t rolled_back = state.sim.rolled_back_speculations();
+  stats.spec_decided += decided - state.spec_seen_decided;
+  stats.spec_committed += committed - state.spec_seen_committed;
+  stats.spec_rolled_back += rolled_back - state.spec_seen_rolled_back;
+  state.spec_seen_decided = decided;
+  state.spec_seen_committed = committed;
+  state.spec_seen_rolled_back = rolled_back;
+}
+
 }  // namespace
 
 SchedulerEngine::SchedulerEngine(EngineOptions options)
@@ -243,10 +258,14 @@ EngineStreamId SchedulerEngine::open_stream(const StreamConfig& config) {
     ws.free_streams.push_back(index);
     throw;
   }
+  state.sim.set_speculate(config.speculate);
   state.demt = config.demt;
   state.offline_algorithm = config.offline_algorithm;
   state.policy = config.policy;
   state.in_use = true;
+  state.spec_seen_decided = 0;
+  state.spec_seen_committed = 0;
+  state.spec_seen_rolled_back = 0;
   ++state.serial;
   ++stats_.streams_opened;
   return EngineStreamId{index, state.serial};
@@ -275,6 +294,7 @@ void SchedulerEngine::feed_stream(const EngineStreamId& id,
       [&](const SchedulingPolicy& policy, PolicyWorkspace& policy_ws) {
         state.sim.feed(arrivals, count, watermark, policy, policy_ws, out);
       });
+  harvest_speculation(state, stats_);
   ++stats_.stream_feeds;
   stats_.stream_arrivals += count;
 }
@@ -292,12 +312,14 @@ void SchedulerEngine::close_stream(const EngineStreamId& id,
           state.sim.finish(policy, policy_ws, out);
         });
   } catch (...) {
+    harvest_speculation(state, stats_);
     state.in_use = false;
     state.policy = nullptr;
     ++state.serial;
     ws.free_streams.push_back(id.index);
     throw;
   }
+  harvest_speculation(state, stats_);
   state.in_use = false;
   state.policy = nullptr;
   ++state.serial;
@@ -328,10 +350,14 @@ EngineStreamId SchedulerEngine::restore_stream(const StreamConfig& config,
     ws.free_streams.push_back(index);
     throw;
   }
+  state.sim.set_speculate(config.speculate);
   state.demt = config.demt;
   state.offline_algorithm = config.offline_algorithm;
   state.policy = config.policy;
   state.in_use = true;
+  state.spec_seen_decided = 0;
+  state.spec_seen_committed = 0;
+  state.spec_seen_rolled_back = 0;
   ++state.serial;
   ++stats_.streams_restored;
   return EngineStreamId{index, state.serial};

@@ -142,6 +142,11 @@ struct StreamConfig {
   /// Per-batch off-line policy, borrowed for the stream's whole life
   /// (open through close); overrides the enum pair when set.
   const SchedulingPolicy* policy = nullptr;
+  /// Decide batches speculatively ahead of the watermark (see
+  /// OnlineStream::set_speculate). Off by default; deliveries are
+  /// bit-identical either way — only EngineStats speculation counters and
+  /// feed latency change.
+  bool speculate = false;
 };
 
 /// Handle to an open engine stream: a dense pool index plus a serial that
@@ -161,6 +166,9 @@ struct EngineStats {
   std::uint64_t streams_restored = 0; ///< sessions resumed from a checkpoint
   std::uint64_t stream_feeds = 0;     ///< feed_stream calls served
   std::uint64_t stream_arrivals = 0;  ///< arrivals fed across all streams
+  std::uint64_t spec_decided = 0;     ///< batches decided ahead of watermark
+  std::uint64_t spec_committed = 0;   ///< staged decisions later confirmed
+  std::uint64_t spec_rolled_back = 0; ///< staged decisions invalidated
   int strands_last_batch = 1;         ///< concurrency of the last call
 };
 
@@ -176,6 +184,11 @@ struct EngineStreamState {
   const SchedulingPolicy* policy = nullptr;  ///< borrowed while open
   std::uint64_t serial = 0;
   bool in_use = false;
+  // Speculation counters already folded into EngineStats (the stream's own
+  // counters are cumulative per session; the engine accumulates deltas).
+  std::uint64_t spec_seen_decided = 0;
+  std::uint64_t spec_seen_committed = 0;
+  std::uint64_t spec_seen_rolled_back = 0;
 };
 
 /// Per-strand reusable state: every buffer a request of either kind needs.

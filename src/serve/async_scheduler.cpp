@@ -161,6 +161,7 @@ struct AsyncScheduler::Impl {
     EngineAlgorithm offline_algorithm = EngineAlgorithm::FlatList;
     DemtOptions demt;
     const SchedulingPolicy* policy = nullptr;   ///< borrowed while open
+    bool speculate = false;  ///< StreamOptions::speculate, applied at open
     std::uint32_t lane = 0;  ///< every feed/close of the stream rides it
     std::vector<NodeReservation> reservations;  ///< copied at open
     EngineStreamId engine_stream{};
@@ -226,6 +227,12 @@ struct AsyncScheduler::Impl {
     std::vector<std::uint32_t> batch_slots;
     std::vector<EngineRequest> batch_requests;
     std::vector<EngineResult> batch_results;
+    /// Engine speculation counters already folded into the Impl atomics
+    /// (the engine's stats are cumulative and strand-only; these track the
+    /// harvested prefix). Strand-only.
+    std::uint64_t spec_seen_decided = 0;
+    std::uint64_t spec_seen_committed = 0;
+    std::uint64_t spec_seen_rolled_back = 0;
   };
 
   explicit Impl(const AsyncOptions& validated_options)
@@ -663,6 +670,7 @@ struct AsyncScheduler::Impl {
         config.offline_algorithm = entry.offline_algorithm;
         config.demt = entry.demt;
         config.policy = entry.policy;
+        config.speculate = entry.speculate;
         if (entry.has_checkpoint) {
           entry.engine_stream =
               shard.engine.restore_stream(config, entry.checkpoint);
@@ -705,6 +713,21 @@ struct AsyncScheduler::Impl {
         std::this_thread::yield();  // unreachable; table-bounded
       }
     }
+    // Fold this shard's engine speculation counters into the serving view
+    // (deltas since the last harvest; the engine's stats are strand-only).
+    const EngineStats& engine_stats = shard.engine.stats();
+    stat_spec_decided.fetch_add(
+        engine_stats.spec_decided - shard.spec_seen_decided,
+        std::memory_order_relaxed);
+    stat_spec_committed.fetch_add(
+        engine_stats.spec_committed - shard.spec_seen_committed,
+        std::memory_order_relaxed);
+    stat_spec_rolled_back.fetch_add(
+        engine_stats.spec_rolled_back - shard.spec_seen_rolled_back,
+        std::memory_order_relaxed);
+    shard.spec_seen_decided = engine_stats.spec_decided;
+    shard.spec_seen_committed = engine_stats.spec_committed;
+    shard.spec_seen_rolled_back = engine_stats.spec_rolled_back;
     slot.done_ns = now_ns();
     lane_completed[slot.lane].fetch_add(1, std::memory_order_relaxed);
     slot.status.store(failed ? TicketStatus::Failed : TicketStatus::Done,
@@ -981,6 +1004,9 @@ struct AsyncScheduler::Impl {
   std::atomic<std::uint64_t> stat_shards_failed{0};
   std::atomic<std::uint64_t> stat_streams_migrated{0};
   std::atomic<std::uint64_t> stat_faults_injected{0};
+  std::atomic<std::uint64_t> stat_spec_decided{0};
+  std::atomic<std::uint64_t> stat_spec_committed{0};
+  std::atomic<std::uint64_t> stat_spec_rolled_back{0};
   /// Failure-token count; try_declare_failed caps it below shards.size()
   /// so at least one shard is always alive. Doubles as the routing
   /// fast-path guard (0 = skip the alive scan entirely).
@@ -1156,6 +1182,7 @@ StreamTicket AsyncScheduler::open_stream(const StreamOptions& options,
   entry.offline_algorithm = options.offline_algorithm;
   entry.demt = options.demt;
   entry.policy = options.policy;
+  entry.speculate = options.speculate;
   entry.lane = im.clamp_lane(lane);
   entry.reservations.clear();
   if (options.reservations != nullptr) {
@@ -1488,6 +1515,11 @@ AsyncStats AsyncScheduler::stats() const {
       im.stat_streams_migrated.load(std::memory_order_relaxed);
   stats.faults_injected =
       im.stat_faults_injected.load(std::memory_order_relaxed);
+  stats.spec_decided = im.stat_spec_decided.load(std::memory_order_relaxed);
+  stats.spec_committed =
+      im.stat_spec_committed.load(std::memory_order_relaxed);
+  stats.spec_rolled_back =
+      im.stat_spec_rolled_back.load(std::memory_order_relaxed);
   if (im.options.cache != nullptr) {
     // The cache keeps its own atomic counters (it may be shared across
     // schedulers); snapshot them into the serving view.

@@ -200,6 +200,11 @@ struct AsyncStats {
   std::uint64_t cache_hits = 0;        ///< decision-cache replays (AsyncOptions::cache)
   std::uint64_t cache_misses = 0;      ///< decision-cache lookups that ran fresh
   std::uint64_t cache_evictions = 0;   ///< decision-cache records recycled (CLOCK)
+  // Speculative frontier decisions across all streams opened with
+  // StreamOptions::speculate (see OnlineStream::set_speculate).
+  std::uint64_t spec_decided = 0;      ///< batches decided ahead of watermark
+  std::uint64_t spec_committed = 0;    ///< staged decisions later confirmed
+  std::uint64_t spec_rolled_back = 0;  ///< staged decisions invalidated
   std::vector<LaneStats> lanes;        ///< per-lane rows, in lane order
 };
 
@@ -215,6 +220,12 @@ struct StreamOptions {
   /// Per-batch off-line policy of every decision this stream makes;
   /// overrides the enum pair when set.
   const SchedulingPolicy* policy = nullptr;
+  /// Decide batches speculatively ahead of the watermark (see
+  /// OnlineStream::set_speculate). Off by default; deliveries are
+  /// bit-identical either way — speculation trades idle shard time for
+  /// lower feed-to-decision latency and shows up in the AsyncStats
+  /// spec_* counters.
+  bool speculate = false;
 };
 
 /// Handle to one open stream. Value type, freely copyable; id 0 means

@@ -150,6 +150,16 @@ void OnlineStream::restore(const StreamCheckpoint& ckpt) {
                                      ckpt.div_weight[d], ckpt.div_release[d]};
   }
   divisible_wcs_ = ckpt.divisible_weighted_completion_sum;
+
+  // Checkpoints carry confirmed state only; staged speculative decisions
+  // are pure recomputable staging and restore as "nothing staged". The
+  // restored session re-speculates on its next feed if enabled.
+  speculate_ = false;
+  spec_head_ = 0;
+  spec_count_ = 0;
+  spec_decided_ = 0;
+  spec_committed_ = 0;
+  spec_rolled_back_ = 0;
   open_ = true;
 }
 

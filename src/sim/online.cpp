@@ -122,12 +122,10 @@ FlatOfflineScheduler policy_offline(const SchedulingPolicy& policy,
                 FlatPlacements& out) { p->schedule_into(batch, *w, out); };
 }
 
-void online_decide_batch(int m, const OnlineJob* jobs,
+void online_settle_batch(int m, const OnlineJob* jobs,
                          const std::vector<NodeReservation>& reservations,
                          const FlatOfflineScheduler& offline,
-                         OnlineWorkspace& ws, double& now,
-                         FlatOnlineResult& out) {
-  double& clock = now;
+                         OnlineWorkspace& ws, double& now) {
   // Determine the available processors against reservations: start from
   // "everything free", schedule, check which reservations the batch
   // overlaps, remove those processors and retry until stable — the shared
@@ -136,31 +134,35 @@ void online_decide_batch(int m, const OnlineJob* jobs,
   // and ws.free_procs the processors the batch may use.
   ws.blocked.assign(static_cast<std::size_t>(m), 0);
   (void)reservation_fixpoint(
-      m, reservations, ws, clock,
+      m, reservations, ws, now,
       [&](int avail) {
         rebuild_batch_instance(jobs, ws.batch_jobs, avail, ws.batch_instance);
         offline(ws.batch_instance, ws, ws.batch);
         return ws.batch.cmax();
       },
       "online_batch_schedule");
+}
 
+void online_lift_batch(const OnlineJob* jobs, const int* batch_jobs,
+                       std::size_t count, const FlatPlacements& batch,
+                       const std::vector<int>& free_procs, double clock,
+                       FlatOnlineResult& out) {
   // Lift the batch placements into global time / global processor ids.
-  for (std::size_t b = 0; b < ws.batch_jobs.size(); ++b) {
-    const int job_id = ws.batch_jobs[b];
+  for (std::size_t b = 0; b < count; ++b) {
+    const int job_id = batch_jobs[b];
     const auto job = static_cast<std::size_t>(job_id);
-    out.schedule.start[job] = clock + ws.batch.start[b];
-    out.schedule.duration[job] = ws.batch.duration[b];
+    out.schedule.start[job] = clock + batch.start[b];
+    out.schedule.duration[job] = batch.duration[b];
     out.schedule.proc_begin[job] =
         static_cast<int>(out.schedule.proc_ids.size());
-    out.schedule.proc_count[job] = ws.batch.proc_count[b];
-    const auto begin = static_cast<std::size_t>(ws.batch.proc_begin[b]);
-    const auto count = static_cast<std::size_t>(ws.batch.proc_count[b]);
-    for (std::size_t p = begin; p < begin + count; ++p) {
+    out.schedule.proc_count[job] = batch.proc_count[b];
+    const auto begin = static_cast<std::size_t>(batch.proc_begin[b]);
+    const auto pcount = static_cast<std::size_t>(batch.proc_count[b]);
+    for (std::size_t p = begin; p < begin + pcount; ++p) {
       out.schedule.proc_ids.push_back(
-          ws.free_procs[static_cast<std::size_t>(ws.batch.proc_ids[p])]);
+          free_procs[static_cast<std::size_t>(batch.proc_ids[p])]);
     }
-    const double completion =
-        clock + (ws.batch.start[b] + ws.batch.duration[b]);
+    const double completion = clock + (batch.start[b] + batch.duration[b]);
     out.completion[job] = completion;
     out.flow[job] = completion - jobs[job].release;
     out.cmax = std::max(out.cmax, completion);
@@ -170,7 +172,17 @@ void online_decide_batch(int m, const OnlineJob* jobs,
   }
   out.batch_starts.push_back(clock);
   ++out.num_batches;
-  clock += ws.batch.cmax();
+}
+
+void online_decide_batch(int m, const OnlineJob* jobs,
+                         const std::vector<NodeReservation>& reservations,
+                         const FlatOfflineScheduler& offline,
+                         OnlineWorkspace& ws, double& now,
+                         FlatOnlineResult& out) {
+  online_settle_batch(m, jobs, reservations, offline, ws, now);
+  online_lift_batch(jobs, ws.batch_jobs.data(), ws.batch_jobs.size(), ws.batch,
+                    ws.free_procs, now, out);
+  now += ws.batch.cmax();
 }
 
 void online_batch_schedule_into(

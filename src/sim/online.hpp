@@ -215,6 +215,30 @@ void online_decide_batch(int m, const OnlineJob* jobs,
                          OnlineWorkspace& ws, double& now,
                          FlatOnlineResult& out);
 
+/// The fixpoint half of online_decide_batch: run the reservation fixpoint
+/// and the off-line plug-in for the batch named by `ws.batch_jobs` at clock
+/// `now` (which may jump forward when the machine is fully reserved),
+/// leaving `ws.batch` / `ws.free_procs` settled exactly as
+/// online_decide_batch would just before its lift — but without touching
+/// any result. The streaming core (sim/stream.hpp) stages speculative
+/// frontier decisions through this entry point.
+void online_settle_batch(int m, const OnlineJob* jobs,
+                         const std::vector<NodeReservation>& reservations,
+                         const FlatOfflineScheduler& offline,
+                         OnlineWorkspace& ws, double& now);
+
+/// The lift half of online_decide_batch: write the settled batch-local
+/// placements `batch` (whose local processor ids index `free_procs`) for
+/// the jobs named by `batch_jobs` into `out` as global rows at clock
+/// `clock`, appending the batch bookkeeping (batch_starts, num_batches,
+/// metrics). Identical arithmetic to the lift inside online_decide_batch,
+/// so a speculative commit that replays a settled fixpoint through this
+/// function is bit-identical to deciding the batch fresh.
+void online_lift_batch(const OnlineJob* jobs, const int* batch_jobs,
+                       std::size_t count, const FlatPlacements& batch,
+                       const std::vector<int>& free_procs, double clock,
+                       FlatOnlineResult& out);
+
 /// Flat core of the batch framework: runs inside `ws`, writes into `out`.
 /// Throws std::invalid_argument on an empty job list, negative releases, or
 /// a job needing more processors than a batch can ever obtain (m minus

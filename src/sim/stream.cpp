@@ -85,6 +85,17 @@ void OnlineStream::open(int m,
   next_ = 0;
   divisible_live_ = 0;
   divisible_wcs_ = 0.0;
+  speculate_ = false;
+  spec_head_ = 0;
+  spec_count_ = 0;
+  spec_decided_ = 0;
+  spec_committed_ = 0;
+  spec_rolled_back_ = 0;
+}
+
+void OnlineStream::set_speculate(bool on) {
+  if (!on && spec_head_ < spec_count_) drop_speculation(spec_head_);
+  speculate_ = on;
 }
 
 double OnlineStream::divisible_work_pending() const noexcept {
@@ -157,6 +168,10 @@ void OnlineStream::feed(const StreamArrival* arrivals, std::size_t count,
     }
   }
 
+  // A late arrival that would have joined a staged batch (or fed its
+  // divisible fill) rolls the stage back before the arrival lands.
+  invalidate_speculation(arrivals, count);
+
   for (std::size_t i = 0; i < count; ++i) {
     const StreamArrival& a = arrivals[i];
     if (a.kind == ArrivalKind::Divisible) {
@@ -174,6 +189,7 @@ void OnlineStream::feed(const StreamArrival* arrivals, std::size_t count,
   }
   watermark_ = watermark;
   advance(false, offline, out);
+  if (speculate_) speculate_ahead(offline);
 }
 
 void OnlineStream::feed(const StreamArrival* arrivals, std::size_t count,
@@ -205,24 +221,44 @@ void OnlineStream::advance(bool finishing, const FlatOfflineScheduler& offline,
   const std::size_t first = next_;
   const std::size_t starts_mark = result_.batch_starts.size();
   try {
-    while (next_ < jobs_live_) {
-      const double open_time = std::max(now_, jobs_[next_].release);
-      // The batch is final only once no future arrival can join it: every
-      // arrival past the watermark has release >= watermark > open + eps.
-      if (!finishing && !(watermark_ > open_time + kReleaseTieEps)) break;
-      ws_.batch_jobs.clear();
-      while (next_ < jobs_live_ &&
-             jobs_[next_].release <= open_time + kReleaseTieEps) {
-        ws_.batch_jobs.push_back(static_cast<int>(next_));
-        ++next_;
+    // Commit staged speculative decisions that became final. Finality is
+    // the same test the fresh loop applies to its open instant, so a
+    // committed record is exactly a batch the fresh loop would decide now
+    // — and invalidate_speculation already rolled back any record a new
+    // arrival could still change. Records are sequential: once the front
+    // one is not final, none behind it is either, and the fresh loop below
+    // must not run ahead of what is still staged.
+    while (spec_head_ < spec_count_) {
+      const SpecRecord& rec = spec_pool_[spec_head_];
+      if (!finishing && !(watermark_ > rec.member_open + kReleaseTieEps)) {
+        break;
       }
-      now_ = open_time;
-      online_decide_batch(m_, jobs_.data(), reservations_, offline, ws_,
-                          now_, result_);
-      const double opened = result_.batch_starts.back();
-      fill_batch_divisible(opened, now_ - opened, out);
+      commit_record(rec, out);
+      ++spec_head_;
     }
-    if (finishing) drain_divisible(out);
+    if (spec_head_ == spec_count_) {
+      spec_head_ = 0;
+      spec_count_ = 0;
+      while (next_ < jobs_live_) {
+        const double open_time = std::max(now_, jobs_[next_].release);
+        // The batch is final only once no future arrival can join it:
+        // every arrival past the watermark has release >= watermark >
+        // open + eps.
+        if (!finishing && !(watermark_ > open_time + kReleaseTieEps)) break;
+        ws_.batch_jobs.clear();
+        while (next_ < jobs_live_ &&
+               jobs_[next_].release <= open_time + kReleaseTieEps) {
+          ws_.batch_jobs.push_back(static_cast<int>(next_));
+          ++next_;
+        }
+        now_ = open_time;
+        online_decide_batch(m_, jobs_.data(), reservations_, offline, ws_,
+                            now_, result_);
+        const double opened = result_.batch_starts.back();
+        fill_batch_divisible(opened, now_ - opened, out);
+      }
+      if (finishing) drain_divisible(out);
+    }
   } catch (...) {
     broken_ = true;
     throw;
@@ -320,6 +356,184 @@ void OnlineStream::fill_batch_divisible(double open_time, double horizon,
       ws_.batch, static_cast<int>(ws_.free_procs.size()), div_batch_.data(),
       div_batch_.size(), horizon, fill_ws_, fill_out_);
   settle_fill(open_time, out);
+}
+
+void OnlineStream::invalidate_speculation(const StreamArrival* arrivals,
+                                          std::size_t count) {
+  if (spec_head_ >= spec_count_ || count == 0) return;
+  // A batch-job arrival joins a staged batch iff it passes the membership
+  // test against the batch's pre-fixpoint open; a divisible arrival feeds
+  // its fill iff it passes the candidate test against the settled open.
+  // Records are sequential, so the first invalidated one takes every later
+  // record (whose clock derives from it) down with it.
+  std::size_t keep = spec_count_;
+  for (std::size_t i = 0; i < count && keep > spec_head_; ++i) {
+    const StreamArrival& a = arrivals[i];
+    for (std::size_t r = spec_head_; r < keep; ++r) {
+      const SpecRecord& rec = spec_pool_[r];
+      const double open = a.kind == ArrivalKind::Divisible ? rec.clock_open
+                                                           : rec.member_open;
+      if (a.release <= open + kReleaseTieEps) {
+        keep = r;
+        break;
+      }
+    }
+  }
+  if (keep < spec_count_) drop_speculation(keep);
+}
+
+void OnlineStream::drop_speculation(std::size_t from) {
+  spec_rolled_back_ += static_cast<std::uint64_t>(spec_count_ - from);
+  spec_count_ = from;
+  if (spec_head_ >= spec_count_) {
+    spec_head_ = 0;
+    spec_count_ = 0;
+  }
+}
+
+void OnlineStream::commit_record(const SpecRecord& rec, StreamDelivery& out) {
+  // Replay the staged decision through the shared lift — identical
+  // arithmetic to deciding the batch fresh at the same clock.
+  online_lift_batch(jobs_.data(), rec.batch_jobs.data(),
+                    rec.batch_jobs.size(), rec.batch, rec.free_procs,
+                    rec.clock_open, result_);
+  now_ = rec.clock_after;
+  next_ = rec.last_job;
+  // Apply the staged divisible fill.
+  for (const auto& chunk : rec.chunks) out.chunks.push_back(chunk);
+  for (std::size_t i = 0; i < rec.div_ids.size(); ++i) {
+    PendingDivisible& job =
+        divisible_[static_cast<std::size_t>(rec.div_ids[i])];
+    job.remaining = rec.div_remaining_after[i];
+    if (rec.div_done[i] != 0) {
+      out.divisible_done.push_back(rec.div_ids[i]);
+      out.divisible_completion.push_back(rec.div_completion[i]);
+      divisible_wcs_ += job.weight * rec.div_completion[i];
+    }
+  }
+  ++spec_committed_;
+}
+
+void OnlineStream::speculate_ahead(const FlatOfflineScheduler& offline) {
+  std::size_t spec_next =
+      spec_head_ < spec_count_ ? spec_pool_[spec_count_ - 1].last_job : next_;
+  if (spec_next >= jobs_live_) return;
+  // Shadow divisible residue: live remaining overlaid with what staged
+  // fills already consumed, so chained speculative batches see the residue
+  // their predecessors would leave behind.
+  spec_div_remaining_.resize(divisible_live_);
+  for (std::size_t d = 0; d < divisible_live_; ++d) {
+    spec_div_remaining_[d] = divisible_[d].remaining;
+  }
+  for (std::size_t r = spec_head_; r < spec_count_; ++r) {
+    const SpecRecord& rec = spec_pool_[r];
+    for (std::size_t i = 0; i < rec.div_ids.size(); ++i) {
+      spec_div_remaining_[static_cast<std::size_t>(rec.div_ids[i])] =
+          rec.div_remaining_after[i];
+    }
+  }
+  double clock =
+      spec_head_ < spec_count_ ? spec_pool_[spec_count_ - 1].clock_after
+                               : now_;
+  try {
+    while (spec_next < jobs_live_) {
+      // Same membership rule as the fresh loop; everything still undecided
+      // here failed the finality test, which is exactly the speculative
+      // frontier.
+      const double member_open = std::max(clock, jobs_[spec_next].release);
+      ws_.batch_jobs.clear();
+      std::size_t last = spec_next;
+      while (last < jobs_live_ &&
+             jobs_[last].release <= member_open + kReleaseTieEps) {
+        ws_.batch_jobs.push_back(static_cast<int>(last));
+        ++last;
+      }
+      double spec_clock = member_open;
+      online_settle_batch(m_, jobs_.data(), reservations_, offline, ws_,
+                          spec_clock);
+      if (spec_count_ >= spec_pool_.size()) spec_pool_.emplace_back();
+      SpecRecord& rec = spec_pool_[spec_count_];
+      rec.first_job = spec_next;
+      rec.last_job = last;
+      rec.member_open = member_open;
+      rec.clock_open = spec_clock;
+      // clock_after mirrors the fresh path's `now_` after the decision
+      // (open plus makespan computed at the settled clock), so horizons
+      // and later opens reproduce its floating point exactly.
+      rec.clock_after = spec_clock + ws_.batch.cmax();
+      rec.batch_jobs.assign(ws_.batch_jobs.begin(), ws_.batch_jobs.end());
+      rec.batch.copy_from(ws_.batch);
+      rec.free_procs.assign(ws_.free_procs.begin(), ws_.free_procs.end());
+      stage_fill(rec);
+      ++spec_count_;
+      ++spec_decided_;
+      clock = rec.clock_after;
+      spec_next = last;
+    }
+  } catch (...) {
+    // Speculation is best-effort: a failing decision (job cannot fit, a
+    // permanently reserved machine) must surface at the *real* decide —
+    // the same feed where the speculate-off stream would throw — not
+    // break the stream early. The partial stage up to the failure stays
+    // valid and committable.
+  }
+}
+
+void OnlineStream::stage_fill(SpecRecord& rec) {
+  rec.chunks.clear();
+  rec.div_ids.clear();
+  rec.div_remaining_after.clear();
+  rec.div_done.clear();
+  rec.div_completion.clear();
+  // Same horizon expression as the fresh path (`now_ - opened` with now_
+  // already advanced past the batch) — not plain cmax, whose rounding can
+  // differ.
+  const double horizon = rec.clock_after - rec.clock_open;
+  if (!(horizon > 0.0)) return;
+  div_candidates_.clear();
+  div_batch_.clear();
+  for (std::size_t d = 0; d < divisible_live_; ++d) {
+    if (spec_div_remaining_[d] > kWorkEps &&
+        divisible_[d].release <= rec.clock_open + kReleaseTieEps) {
+      div_candidates_.push_back(static_cast<int>(d));
+      div_batch_.push_back(
+          DivisibleJob{spec_div_remaining_[d], divisible_[d].weight});
+    }
+  }
+  if (div_candidates_.empty()) return;
+  fill_idle_with_divisible_into(
+      ws_.batch, static_cast<int>(ws_.free_procs.size()), div_batch_.data(),
+      div_batch_.size(), horizon, fill_ws_, fill_out_);
+  // Stage what settle_fill would apply, with identical arithmetic.
+  div_last_finish_.assign(div_candidates_.size(), 0.0);
+  for (const auto& chunk : fill_out_.chunks) {
+    const auto candidate = static_cast<std::size_t>(chunk.job);
+    rec.chunks.push_back(DivisibleChunk{
+        div_candidates_[candidate],
+        ws_.free_procs[static_cast<std::size_t>(chunk.proc)],
+        rec.clock_open + chunk.start, chunk.duration});
+    div_last_finish_[candidate] = std::max(
+        div_last_finish_[candidate], rec.clock_open + chunk.finish());
+  }
+  for (std::size_t i = 0; i < div_candidates_.size(); ++i) {
+    const auto id = static_cast<std::size_t>(div_candidates_[i]);
+    double remaining =
+        std::max(0.0, spec_div_remaining_[id] - fill_out_.placed_work[i]);
+    const bool done_exact = fill_out_.completion[i] > 0.0;
+    const bool done_noise = !done_exact && remaining <= kWorkEps &&
+                            fill_out_.placed_work[i] > 0.0;
+    double done_at = 0.0;
+    if (done_exact || done_noise) {
+      remaining = 0.0;
+      done_at = done_exact ? rec.clock_open + fill_out_.completion[i]
+                           : div_last_finish_[i];
+    }
+    rec.div_ids.push_back(div_candidates_[i]);
+    rec.div_remaining_after.push_back(remaining);
+    rec.div_done.push_back((done_exact || done_noise) ? 1 : 0);
+    rec.div_completion.push_back(done_at);
+    spec_div_remaining_[id] = remaining;
+  }
 }
 
 void OnlineStream::drain_divisible(StreamDelivery& out) {

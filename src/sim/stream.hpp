@@ -153,6 +153,32 @@ class OnlineStream {
   void finish(const SchedulingPolicy& policy, PolicyWorkspace& policy_ws,
               StreamDelivery& out);
 
+  /// Enable speculative frontier decisions (default off). With speculation
+  /// on, batches whose open instant is still ahead of the watermark are
+  /// decided anyway and *staged* off to the side; a later watermark that
+  /// confirms no late arrival commits the staged decision (replaying the
+  /// settled placements — bit-identical to deciding fresh), while an
+  /// arrival that would have joined a staged batch rolls the stage back
+  /// and the batch is re-decided normally. Deliveries, result(), and
+  /// checkpoints carry confirmed state only, so toggling speculation never
+  /// changes any observable output — only when the deciding work happens.
+  /// Turning it off rolls back anything currently staged.
+  void set_speculate(bool on);
+  [[nodiscard]] bool speculate() const noexcept { return speculate_; }
+  /// Batches decided ahead of the watermark this session.
+  [[nodiscard]] std::uint64_t speculated_batches() const noexcept {
+    return spec_decided_;
+  }
+  /// Staged decisions the watermark later confirmed.
+  [[nodiscard]] std::uint64_t committed_speculations() const noexcept {
+    return spec_committed_;
+  }
+  /// Staged decisions discarded because a late arrival (or a toggle)
+  /// invalidated them.
+  [[nodiscard]] std::uint64_t rolled_back_speculations() const noexcept {
+    return spec_rolled_back_;
+  }
+
   /// True while the stream accepts feeds (open and not yet finished).
   [[nodiscard]] bool is_open() const noexcept { return open_ && !finished_; }
   [[nodiscard]] bool finished() const noexcept { return finished_; }
@@ -199,6 +225,30 @@ class OnlineStream {
     double release = 0.0;
   };
 
+  /// One speculative batch decision, staged off to the side. Live stream
+  /// state stays confirmed-only: a record holds everything a commit needs
+  /// to replay the decision bit-identically (the settled batch-local
+  /// placements plus the divisible fill it implies), and a rollback is
+  /// simply discarding the record. Records are pooled — the live window is
+  /// spec_pool_[spec_head_, spec_count_).
+  struct SpecRecord {
+    std::size_t first_job = 0;  ///< frontier before the batch
+    std::size_t last_job = 0;   ///< frontier after the batch
+    double member_open = 0.0;   ///< pre-fixpoint open (membership/finality)
+    double clock_open = 0.0;    ///< settled batch start (batch_starts value)
+    double clock_after = 0.0;   ///< clock_open + batch makespan
+    std::vector<int> batch_jobs;     ///< stream job ids of the batch
+    FlatPlacements batch;            ///< settled batch-local placements
+    std::vector<int> free_procs;     ///< processors the batch may use
+    // Staged divisible fill: chunks in global coordinates plus the
+    // per-candidate residue updates the fill implies, applied at commit.
+    std::vector<DivisibleChunk> chunks;
+    std::vector<int> div_ids;
+    std::vector<double> div_remaining_after;
+    std::vector<std::uint8_t> div_done;
+    std::vector<double> div_completion;
+  };
+
   void append_batch_job(const StreamArrival& arrival);
   void advance(bool finishing, const FlatOfflineScheduler& offline,
                StreamDelivery& out);
@@ -207,6 +257,12 @@ class OnlineStream {
   void drain_divisible(StreamDelivery& out);
   void collect_divisible_candidates(double open_time);
   void settle_fill(double open_time, StreamDelivery& out);
+  void speculate_ahead(const FlatOfflineScheduler& offline);
+  void stage_fill(SpecRecord& rec);
+  void commit_record(const SpecRecord& rec, StreamDelivery& out);
+  void invalidate_speculation(const StreamArrival* arrivals,
+                              std::size_t count);
+  void drop_speculation(std::size_t from);
 
   int m_ = 0;
   double now_ = 0.0;
@@ -231,6 +287,15 @@ class OnlineStream {
   DivisibleFillWorkspace fill_ws_;
   DivisibleFillResult fill_out_;
   FlatPlacements empty_batch_;  ///< zero-entry placements for the drain
+
+  bool speculate_ = false;
+  std::vector<SpecRecord> spec_pool_;  ///< pooled records, capacity kept
+  std::size_t spec_head_ = 0;   ///< first live staged record
+  std::size_t spec_count_ = 0;  ///< one past the last live staged record
+  std::vector<double> spec_div_remaining_;  ///< shadow residue for staging
+  std::uint64_t spec_decided_ = 0;
+  std::uint64_t spec_committed_ = 0;
+  std::uint64_t spec_rolled_back_ = 0;
 };
 
 }  // namespace moldsched

@@ -132,5 +132,84 @@ TEST(ListScheduler, UpcomingReservationStopsLongJob) {
   EXPECT_EQ(schedule.placement(0).procs[0], 1);
 }
 
+// ------------------------------------------------ event-heap edge cases
+
+TEST(ListScheduler, SimultaneousFinishesDrainAsOneEvent) {
+  // Four 1-proc jobs all finish at t=2 (exactly equal doubles). The event
+  // heap must pop every tied finish before rescanning, so the 4-proc job
+  // sees the whole machine at once and starts at 2, not at some later
+  // partially-freed instant.
+  const Schedule schedule = list_schedule(
+      4, 5, {{0, 1, 2.0, 0.0}, {1, 1, 2.0, 0.0}, {2, 1, 2.0, 0.0},
+             {3, 1, 2.0, 0.0}, {4, 4, 1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(schedule.placement(4).start, 2.0);
+  EXPECT_DOUBLE_EQ(schedule.cmax(), 3.0);
+}
+
+TEST(ListScheduler, EqualDurationTiesKeepListOrder) {
+  // Three identical 2-proc jobs on 2 procs: ties in every heap key. The
+  // schedule must follow the priority list deterministically.
+  const Schedule schedule = list_schedule(
+      2, 3, {{2, 2, 1.5, 0.0}, {0, 2, 1.5, 0.0}, {1, 2, 1.5, 0.0}});
+  EXPECT_DOUBLE_EQ(schedule.placement(2).start, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.placement(0).start, 1.5);
+  EXPECT_DOUBLE_EQ(schedule.placement(1).start, 3.0);
+}
+
+TEST(ListScheduler, SingleProcessorChainsInListOrder) {
+  // m=1 degenerates to a sequential chain: starts are exact running sums
+  // (no epsilon drift from the event loop), releases still respected.
+  const Schedule schedule = list_schedule(
+      1, 4, {{0, 1, 1.25, 0.0}, {1, 1, 0.5, 0.0}, {2, 1, 2.0, 0.0},
+             {3, 1, 1.0, 5.0}});
+  EXPECT_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_EQ(schedule.placement(1).start, 1.25);
+  EXPECT_EQ(schedule.placement(2).start, 1.75);
+  EXPECT_EQ(schedule.placement(3).start, 5.0);  // waits for its release
+  EXPECT_DOUBLE_EQ(schedule.cmax(), 6.0);
+}
+
+TEST(ListScheduler, JobStartsExactlyAtReservationEnd) {
+  // Reservation [0, 4) on the only processor: the freeing event at exactly
+  // t=4 must make the processor usable at 4, not strictly after it.
+  ListScheduleOptions options;
+  options.reservations = {{0, 0.0, 4.0}};
+  const Schedule schedule = list_schedule(1, 1, {{0, 1, 2.0, 0.0}}, options);
+  EXPECT_EQ(schedule.placement(0).start, 4.0);
+}
+
+TEST(ListScheduler, JobFinishingExactlyAtReservationStartFits) {
+  // Proc 0 reserved [3, 5). A job of length 3 at t=0 finishes exactly when
+  // the reservation begins — a half-open boundary, so it may use proc 0.
+  ListScheduleOptions options;
+  options.reservations = {{0, 3.0, 5.0}};
+  const Schedule schedule = list_schedule(1, 1, {{0, 1, 3.0, 0.0}}, options);
+  EXPECT_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_EQ(schedule.placement(0).procs[0], 0);
+}
+
+TEST(ListScheduler, ReservationFinishTiedWithJobFinish) {
+  // A job finish and a reservation finish land on the same heap key
+  // (t=2): both frees must drain before the 2-proc job is scanned, so it
+  // starts at exactly 2 on the full machine.
+  ListScheduleOptions options;
+  options.reservations = {{1, 0.0, 2.0}};
+  const Schedule schedule =
+      list_schedule(2, 2, {{0, 1, 2.0, 0.0}, {1, 2, 1.0, 0.0}}, options);
+  EXPECT_EQ(schedule.placement(0).start, 0.0);
+  EXPECT_EQ(schedule.placement(1).start, 2.0);
+  EXPECT_DOUBLE_EQ(schedule.cmax(), 3.0);
+}
+
+TEST(ListScheduler, BackToBackReservationsOnOneProcessor) {
+  // Two abutting reservations [0,2) and [2,4) on proc 0 of a 1-proc
+  // machine: the per-proc reservation chain must advance across the shared
+  // boundary without opening a zero-width hole at t=2.
+  ListScheduleOptions options;
+  options.reservations = {{0, 0.0, 2.0}, {0, 2.0, 4.0}};
+  const Schedule schedule = list_schedule(1, 1, {{0, 1, 1.0, 0.0}}, options);
+  EXPECT_EQ(schedule.placement(0).start, 4.0);
+}
+
 }  // namespace
 }  // namespace moldsched
