@@ -140,6 +140,17 @@ set(kernel_headers
     "${REPO}/src/sched/compaction.hpp")
 check_symbol_coverage("${kernel_headers}" "${api_text}" "docs/API.md")
 
+# --- trace layer: docs/API.md must cover every trace symbol -------------
+# SWF ingestion, the tape compiler and the SLO accumulator are a public
+# subsystem (src/trace/); the API reference must name each symbol, and the
+# trace handbook must exist (format mapping and SLO schema live there).
+file(GLOB_RECURSE trace_headers "${REPO}/src/trace/*.hpp")
+list(SORT trace_headers)
+check_symbol_coverage("${trace_headers}" "${api_text}" "docs/API.md")
+if(NOT EXISTS "${REPO}/docs/TRACES.md")
+  message(FATAL_ERROR "docs_check: docs/TRACES.md does not exist")
+endif()
+
 # --- online/streaming layer: docs/ONLINE.md covers the sim surface -------
 set(online_md "${REPO}/docs/ONLINE.md")
 if(NOT EXISTS "${online_md}")
@@ -160,7 +171,7 @@ if(NOT EXISTS "${architecture_md}")
   message(FATAL_ERROR "docs_check: ${architecture_md} does not exist")
 endif()
 file(READ "${architecture_md}" architecture_text)
-foreach(layer core sched sim engine serve)
+foreach(layer core sched sim engine serve trace)
   string(FIND "${architecture_text}" "${layer}/" found)
   if(found EQUAL -1)
     message(FATAL_ERROR
@@ -175,7 +186,7 @@ if(NOT EXISTS "${benchmarks_md}")
 endif()
 file(READ "${benchmarks_md}" benchmarks_text)
 foreach(report BENCH_demt.json BENCH_demt_micro.json BENCH_engine.json
-        BENCH_serve.json BENCH_online.json)
+        BENCH_serve.json BENCH_online.json BENCH_trace.json)
   string(FIND "${benchmarks_text}" "${report}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR

@@ -9,15 +9,24 @@
 /// latency, per-kind job counts, mean flow time, and the divisible filler
 /// utilisation of the idle holes.
 ///
+/// With `--trace <file>` the clients replay a real SWF cluster log
+/// instead: the log is compiled into a release-ordered tape
+/// (docs/TRACES.md) and dealt round-robin across the streams, so every
+/// client drives a release-ordered subsequence of the real arrival
+/// process.
+///
 ///   ./stream_server [--streams 4] [--arrivals 120] [--m 32]
 ///                   [--shards 2] [--gap 0.5] [--window 2.0]
 ///                   [--algorithm flatlist|demt] [--seed 1]
+///                   [--trace log.swf] [--scale X] [--moldable]
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "serve/async_scheduler.hpp"
+#include "trace/tape.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -39,16 +48,20 @@ int main(int argc, char** argv) {
         "  --window X     watermark window per feed          [2.0]\n"
         "  --algorithm A  flatlist | demt                    [flatlist]\n"
         "  --seed S       RNG seed                           [1]\n"
-        "Streaming lifecycle and contracts: docs/ONLINE.md; measured\n"
-        "numbers: bench/online_stream (BENCH_online.json,\n"
-        "docs/BENCHMARKS.md).\n");
+        "  --trace F      replay an SWF log instead of the Poisson mix\n"
+        "                 (dealt round-robin across the streams)\n"
+        "  --scale X      trace clock compression (time_scale)  [1.0]\n"
+        "  --moldable     compile trace jobs as moldable Downey tasks\n"
+        "Streaming lifecycle and contracts: docs/ONLINE.md; trace\n"
+        "format and scaling knobs: docs/TRACES.md; measured numbers:\n"
+        "bench/online_stream (BENCH_online.json, docs/BENCHMARKS.md).\n");
     return 0;
   }
   const int num_streams = static_cast<int>(args.get_int("streams", 4));
   const int num_arrivals = static_cast<int>(args.get_int("arrivals", 120));
-  const int m = static_cast<int>(args.get_int("m", 32));
+  const std::string trace_path = args.get_string("trace", "");
+  int m = static_cast<int>(args.get_int("m", trace_path.empty() ? 32 : 0));
   const double mean_gap = args.get_double("gap", 0.5);
-  const double window = args.get_double("window", 2.0);
   const std::string algorithm_name = args.get_string("algorithm", "flatlist");
   AsyncOptions options;
   options.shards = static_cast<int>(args.get_int("shards", 2));
@@ -56,8 +69,29 @@ int main(int argc, char** argv) {
   AsyncScheduler server(options);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
 
+  // With --trace, compile the SWF log into a release-ordered tape
+  // (docs/TRACES.md) before sizing the streams; the tape resolves the
+  // machine from the log's MaxProcs header unless --m overrides it.
+  Tape log_tape;
+  if (!trace_path.empty()) {
+    SwfTrace swf;
+    load_swf_file(trace_path, swf);
+    TapeOptions tape_options;
+    tape_options.m = m;
+    tape_options.time_scale = args.get_double("scale", 1.0);
+    tape_options.moldable = args.has("moldable");
+    compile_tape(swf, tape_options, log_tape);
+    m = log_tape.m;
+  }
+  // Default watermark window: ~100 feed rounds over the trace's span.
+  const double window = args.get_double(
+      "window", trace_path.empty() ? 2.0
+                                   : std::max(log_tape.span / 100.0, 1e-9));
+
   // One arrival tape per client: an open-loop Poisson process over the
-  // §5 mix — mostly moldable, some rigid, some divisible filler.
+  // §5 mix — mostly moldable, some rigid, some divisible filler — or,
+  // with --trace, a round-robin deal of the compiled log (every client's
+  // tape is a release-ordered subsequence of the real arrival process).
   struct Client {
     StreamTicket stream;
     std::vector<StreamArrival> tape;
@@ -72,34 +106,65 @@ int main(int argc, char** argv) {
   stream_options.offline_algorithm = algorithm_name == "demt"
                                          ? EngineAlgorithm::Demt
                                          : EngineAlgorithm::FlatList;
-  for (auto& client : clients) {
-    double release = 0.0;
-    for (int i = 0; i < num_arrivals; ++i) {
-      const double pick = rng.uniform();
-      if (pick < 0.70) {
-        Instance tmp = generate_instance(WorkloadFamily::Mixed, 1, m, rng);
-        client.tape.push_back(moldable_arrival(tmp.task(0), release));
-        ++client.moldable;
-      } else if (pick < 0.85) {
-        client.tape.push_back(rigid_arrival(
-            static_cast<int>(rng.uniform_int(1, std::max(1, m / 4))),
-            rng.uniform(0.5, 3.0), rng.uniform(0.5, 2.0), release));
+  if (!trace_path.empty()) {
+    for (std::size_t i = 0; i < log_tape.arrivals.size(); ++i) {
+      Client& client = clients[i % clients.size()];
+      const StreamArrival& arrival = log_tape.arrivals[i];
+      client.tape.push_back(arrival);
+      if (arrival.task.min_procs() == arrival.task.max_procs()) {
         ++client.rigid;
       } else {
-        client.tape.push_back(divisible_arrival(
-            rng.uniform(2.0, 10.0), rng.uniform(0.5, 2.0), release));
-        ++client.divisible;
+        ++client.moldable;
       }
-      release += rng.exponential(mean_gap);
     }
-    client.stream = server.open_stream(stream_options);
+    for (auto& client : clients) {
+      client.stream = server.open_stream(stream_options);
+    }
+  } else {
+    for (auto& client : clients) {
+      double release = 0.0;
+      for (int i = 0; i < num_arrivals; ++i) {
+        const double pick = rng.uniform();
+        if (pick < 0.70) {
+          Instance tmp = generate_instance(WorkloadFamily::Mixed, 1, m, rng);
+          client.tape.push_back(moldable_arrival(tmp.task(0), release));
+          ++client.moldable;
+        } else if (pick < 0.85) {
+          client.tape.push_back(rigid_arrival(
+              static_cast<int>(rng.uniform_int(1, std::max(1, m / 4))),
+              rng.uniform(0.5, 3.0), rng.uniform(0.5, 2.0), release));
+          ++client.rigid;
+        } else {
+          client.tape.push_back(divisible_arrival(
+              rng.uniform(2.0, 10.0), rng.uniform(0.5, 2.0), release));
+          ++client.divisible;
+        }
+        release += rng.exponential(mean_gap);
+      }
+      client.stream = server.open_stream(stream_options);
+    }
+  }
+  int total_arrivals = 0;
+  for (const auto& client : clients) {
+    total_arrivals += static_cast<int>(client.tape.size());
   }
 
-  std::printf(
-      "stream_server: %d streams x %d arrivals (m=%d), %s, %d shards, "
-      "gap=%.2f, window=%.2f, pool=%zu workers\n\n",
-      num_streams, num_arrivals, m, algorithm_name.c_str(), options.shards,
-      mean_gap, window, shared_thread_pool().size());
+  if (trace_path.empty()) {
+    std::printf(
+        "stream_server: %d streams x %d arrivals (m=%d), %s, %d shards, "
+        "gap=%.2f, window=%.2f, pool=%zu workers\n\n",
+        num_streams, num_arrivals, m, algorithm_name.c_str(), options.shards,
+        mean_gap, window, shared_thread_pool().size());
+  } else {
+    std::printf(
+        "stream_server: replaying %s (%lld/%lld usable jobs, span %.0f) "
+        "over %d streams (m=%d), %s, %d shards, window=%.2f, pool=%zu "
+        "workers\n\n",
+        trace_path.c_str(), static_cast<long long>(log_tape.jobs_kept()),
+        static_cast<long long>(log_tape.jobs_in_trace), log_tape.span,
+        num_streams, m, algorithm_name.c_str(), options.shards, window,
+        shared_thread_pool().size());
+  }
 
   RunningStats latency_ms;
   RunningStats flow;
@@ -213,8 +278,8 @@ int main(int argc, char** argv) {
   std::printf(
       "served %d arrivals (%d moldable, %d rigid, %d divisible) in "
       "%.2f ms: %.1f arrivals/s\n",
-      num_streams * num_arrivals, moldable, rigid, divisible, elapsed * 1e3,
-      static_cast<double>(num_streams * num_arrivals) / elapsed);
+      total_arrivals, moldable, rigid, divisible, elapsed * 1e3,
+      static_cast<double>(total_arrivals) / elapsed);
   std::printf(
       "decisions: %d batch jobs in ~%d batches/stream; feed latency ms "
       "mean %.3f [%.3f, %.3f]\n",

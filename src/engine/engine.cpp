@@ -259,6 +259,7 @@ EngineStreamId SchedulerEngine::open_stream(const StreamConfig& config) {
     throw;
   }
   state.sim.set_speculate(config.speculate);
+  state.sim.set_speculate_depth(config.speculate_depth);
   state.demt = config.demt;
   state.offline_algorithm = config.offline_algorithm;
   state.policy = config.policy;
@@ -351,6 +352,7 @@ EngineStreamId SchedulerEngine::restore_stream(const StreamConfig& config,
     throw;
   }
   state.sim.set_speculate(config.speculate);
+  state.sim.set_speculate_depth(config.speculate_depth);
   state.demt = config.demt;
   state.offline_algorithm = config.offline_algorithm;
   state.policy = config.policy;

@@ -147,6 +147,12 @@ struct StreamConfig {
   /// bit-identical either way — only EngineStats speculation counters and
   /// feed latency change.
   bool speculate = false;
+  /// Speculation budget per frontier advance (see
+  /// OnlineStream::set_speculate_depth): at most this many batch decisions
+  /// are staged ahead of the watermark before one becomes final, bounding
+  /// wasted work on rollback-heavy tapes; 0 = unlimited. Only meaningful
+  /// with `speculate` on.
+  int speculate_depth = 0;
 };
 
 /// Handle to an open engine stream: a dense pool index plus a serial that

@@ -162,6 +162,7 @@ struct AsyncScheduler::Impl {
     DemtOptions demt;
     const SchedulingPolicy* policy = nullptr;   ///< borrowed while open
     bool speculate = false;  ///< StreamOptions::speculate, applied at open
+    int speculate_depth = 0;  ///< StreamOptions::speculate_depth
     std::uint32_t lane = 0;  ///< every feed/close of the stream rides it
     std::vector<NodeReservation> reservations;  ///< copied at open
     EngineStreamId engine_stream{};
@@ -671,6 +672,7 @@ struct AsyncScheduler::Impl {
         config.demt = entry.demt;
         config.policy = entry.policy;
         config.speculate = entry.speculate;
+        config.speculate_depth = entry.speculate_depth;
         if (entry.has_checkpoint) {
           entry.engine_stream =
               shard.engine.restore_stream(config, entry.checkpoint);
@@ -1183,6 +1185,7 @@ StreamTicket AsyncScheduler::open_stream(const StreamOptions& options,
   entry.demt = options.demt;
   entry.policy = options.policy;
   entry.speculate = options.speculate;
+  entry.speculate_depth = options.speculate_depth;
   entry.lane = im.clamp_lane(lane);
   entry.reservations.clear();
   if (options.reservations != nullptr) {

@@ -226,6 +226,10 @@ struct StreamOptions {
   /// lower feed-to-decision latency and shows up in the AsyncStats
   /// spec_* counters.
   bool speculate = false;
+  /// Speculation budget per frontier advance for this stream (see
+  /// OnlineStream::set_speculate_depth); 0 = unlimited. Bounds the work a
+  /// rollback-heavy tape wastes; only meaningful with `speculate` on.
+  int speculate_depth = 0;
 };
 
 /// Handle to one open stream. Value type, freely copyable; id 0 means

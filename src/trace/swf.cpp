@@ -1,0 +1,190 @@
+#include "trace/swf.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strfmt.hpp"
+
+namespace moldsched {
+
+namespace {
+
+/// The 18 SWF record fields, parsed as doubles first; integer-typed
+/// fields are converted (and validated integral) afterwards.
+constexpr std::size_t kSwfFields = 18;
+/// A record must at least say who it is, when it arrived, how long it
+/// waited, and how long it ran; later fields default to -1.
+constexpr std::size_t kSwfMinFields = 4;
+
+[[nodiscard]] bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+[[noreturn]] void fail(std::size_t line, const char* what) {
+  throw std::invalid_argument(strfmt("swf: line %zu: %s", line, what));
+}
+
+/// Convert a parsed double into an integer field; integral spellings
+/// ("3", "3.0", "-1") pass, fractional values are malformed.
+[[nodiscard]] std::int64_t to_int_field(double value, std::size_t line) {
+  if (std::abs(value) > 9.0e18) fail(line, "integer field out of range");
+  const double rounded = std::nearbyint(value);
+  if (rounded != value) fail(line, "integer field has a fractional part");
+  return static_cast<std::int64_t>(rounded);
+}
+
+/// Parse one whitespace-separated numeric token starting at `p` (which
+/// must point at a non-space, non-newline byte). Advances `p` past the
+/// token. Throws on anything from_chars rejects, trailing garbage inside
+/// the token, or a non-finite value.
+[[nodiscard]] double parse_token(const char*& p, const char* line_end,
+                                 std::size_t line) {
+  double value = 0.0;
+  const auto [next, ec] = std::from_chars(p, line_end, value);
+  if (ec != std::errc{}) fail(line, "field is not a number");
+  if (next < line_end && !is_space(*next)) {
+    fail(line, "trailing characters after a numeric field");
+  }
+  if (!std::isfinite(value)) fail(line, "field is not finite");
+  p = next;
+  return value;
+}
+
+/// Parse a `; Key: value` header directive into the trace when the key is
+/// one we track. Unknown keys and free-form comments are skipped; a
+/// malformed value after a known key is tolerated too (comments are never
+/// hard errors — a flipped byte in a header must not reject the log).
+void parse_directive(const char* p, const char* line_end, SwfTrace& out) {
+  ++p;  // past ';'
+  while (p < line_end && is_space(*p)) ++p;
+  const auto key_matches = [&](std::string_view key) {
+    if (static_cast<std::size_t>(line_end - p) < key.size()) return false;
+    return std::string_view(p, key.size()) == key;
+  };
+  struct Directive {
+    std::string_view key;
+    std::int64_t SwfTrace::* field;
+  };
+  static constexpr Directive kDirectives[] = {
+      {"MaxProcs:", &SwfTrace::max_procs},
+      {"MaxQueues:", &SwfTrace::max_queues},
+      {"MaxNodes:", &SwfTrace::max_nodes},
+  };
+  std::int64_t* target = nullptr;
+  std::size_t key_len = 0;
+  for (const auto& directive : kDirectives) {
+    if (key_matches(directive.key)) {
+      target = &(out.*directive.field);
+      key_len = directive.key.size();
+      break;
+    }
+  }
+  if (target == nullptr) return;
+  p += key_len;
+  while (p < line_end && is_space(*p)) ++p;
+  std::int64_t value = 0;
+  const auto [next, ec] = std::from_chars(p, line_end, value);
+  if (ec != std::errc{} || value < 0) return;  // tolerated, see above
+  (void)next;
+  *target = value;
+}
+
+}  // namespace
+
+std::int64_t SwfTrace::observed_max_procs() const noexcept {
+  std::int64_t best = -1;
+  for (const auto& job : jobs) {
+    best = std::max({best, job.req_procs, job.used_procs});
+  }
+  return best;
+}
+
+void SwfTrace::clear() {
+  jobs.clear();
+  max_procs = -1;
+  max_queues = -1;
+  max_nodes = -1;
+  comment_lines = 0;
+}
+
+void parse_swf(const char* data, std::size_t size, SwfTrace& out) {
+  out.clear();
+  if (data == nullptr && size != 0) {
+    throw std::invalid_argument("swf: null data with nonzero size");
+  }
+  const char* p = data;
+  const char* const end = data + size;
+  std::size_t line = 0;
+  double fields[kSwfFields];
+  while (p < end) {
+    ++line;
+    const char* line_end = std::find(p, end, '\n');
+    while (p < line_end && is_space(*p)) ++p;
+    if (p == line_end) {
+      ++out.comment_lines;  // blank line
+    } else if (*p == ';') {
+      ++out.comment_lines;
+      parse_directive(p, line_end, out);
+    } else {
+      std::size_t count = 0;
+      while (p < line_end) {
+        if (count == kSwfFields) fail(line, "record has more than 18 fields");
+        fields[count++] = parse_token(p, line_end, line);
+        while (p < line_end && is_space(*p)) ++p;
+      }
+      if (count < kSwfMinFields) {
+        fail(line, "record has fewer than 4 fields");
+      }
+      for (std::size_t f = count; f < kSwfFields; ++f) fields[f] = -1.0;
+      SwfJob job;
+      job.id = to_int_field(fields[0], line);
+      job.submit = fields[1];
+      job.wait = fields[2];
+      job.run_time = fields[3];
+      job.used_procs = to_int_field(fields[4], line);
+      job.avg_cpu = fields[5];
+      job.used_mem = fields[6];
+      job.req_procs = to_int_field(fields[7], line);
+      job.req_time = fields[8];
+      job.req_mem = fields[9];
+      job.status = to_int_field(fields[10], line);
+      job.user = to_int_field(fields[11], line);
+      job.group = to_int_field(fields[12], line);
+      job.app = to_int_field(fields[13], line);
+      job.queue = to_int_field(fields[14], line);
+      job.partition = to_int_field(fields[15], line);
+      job.prev_job = to_int_field(fields[16], line);
+      job.think_time = fields[17];
+      out.jobs.push_back(job);
+    }
+    p = line_end < end ? line_end + 1 : end;
+  }
+}
+
+void parse_swf(std::string_view text, SwfTrace& out) {
+  parse_swf(text.data(), text.size(), out);
+}
+
+void load_swf_file(const std::string& path, SwfTrace& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("swf: cannot open " + path);
+  }
+  static thread_local std::string buffer;  // pooled across loads
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) {
+    throw std::runtime_error("swf: cannot read " + path);
+  }
+  in.seekg(0, std::ios::beg);
+  buffer.resize(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(buffer.data(), size)) {
+    throw std::runtime_error("swf: cannot read " + path);
+  }
+  parse_swf(buffer.data(), buffer.size(), out);
+}
+
+}  // namespace moldsched

@@ -1,0 +1,121 @@
+#include "trace/swf_write.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/strfmt.hpp"
+
+namespace moldsched {
+
+namespace {
+
+/// Shortest decimal spelling that parses back to exactly `value`: try
+/// increasing precision until the round-trip is bit-exact (%.17g always
+/// is; most trace values are integers and stop at %.1f-like forms).
+std::string round_trip_double(double value) {
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::string text = strfmt("%.*g", precision, value);
+    if (std::strtod(text.c_str(), nullptr) == value) return text;
+  }
+  return strfmt("%.17g", value);
+}
+
+}  // namespace
+
+void write_swf(const SwfTrace& trace, std::ostream& out) {
+  out << "; SWF written by moldsched trace/swf_write\n";
+  if (trace.max_procs >= 0) {
+    out << strfmt("; MaxProcs: %lld\n",
+                  static_cast<long long>(trace.max_procs));
+  }
+  if (trace.max_queues >= 0) {
+    out << strfmt("; MaxQueues: %lld\n",
+                  static_cast<long long>(trace.max_queues));
+  }
+  if (trace.max_nodes >= 0) {
+    out << strfmt("; MaxNodes: %lld\n",
+                  static_cast<long long>(trace.max_nodes));
+  }
+  for (const auto& job : trace.jobs) {
+    out << strfmt("%lld %s %s %s %lld %s %s %lld %s %s "
+                  "%lld %lld %lld %lld %lld %lld %lld %s\n",
+                  static_cast<long long>(job.id),
+                  round_trip_double(job.submit).c_str(),
+                  round_trip_double(job.wait).c_str(),
+                  round_trip_double(job.run_time).c_str(),
+                  static_cast<long long>(job.used_procs),
+                  round_trip_double(job.avg_cpu).c_str(),
+                  round_trip_double(job.used_mem).c_str(),
+                  static_cast<long long>(job.req_procs),
+                  round_trip_double(job.req_time).c_str(),
+                  round_trip_double(job.req_mem).c_str(),
+                  static_cast<long long>(job.status),
+                  static_cast<long long>(job.user),
+                  static_cast<long long>(job.group),
+                  static_cast<long long>(job.app),
+                  static_cast<long long>(job.queue),
+                  static_cast<long long>(job.partition),
+                  static_cast<long long>(job.prev_job),
+                  round_trip_double(job.think_time).c_str());
+  }
+}
+
+void synthesize_swf(const SynthSwfOptions& options, Rng& rng,
+                    SwfTrace& trace) {
+  if (options.jobs < 1 || options.max_procs < 1 || options.queues < 1) {
+    throw std::invalid_argument(
+        "synthesize_swf: jobs, max_procs and queues must be >= 1");
+  }
+  if (!(options.mean_gap > 0.0) || !(options.run_lo > 0.0) ||
+      !(options.run_hi >= options.run_lo)) {
+    throw std::invalid_argument(
+        "synthesize_swf: need mean_gap > 0 and 0 < run_lo <= run_hi");
+  }
+  trace.clear();
+  trace.max_procs = options.max_procs;
+  trace.max_queues = options.queues;
+  const double log_lo = std::log(options.run_lo);
+  const double log_hi = std::log(options.run_hi);
+  double submit = 0.0;
+  for (int i = 0; i < options.jobs; ++i) {
+    SwfJob job;
+    job.id = i + 1;
+    // Whole-second submits/runtimes like a real accounting log.
+    job.submit = std::floor(submit);
+    submit += rng.exponential(options.mean_gap);
+    job.run_time =
+        std::max(1.0, std::floor(std::exp(rng.uniform(log_lo, log_hi))));
+    // Processor requests lean on powers of two, as archive logs do.
+    const int log2_cap = static_cast<int>(
+        std::floor(std::log2(static_cast<double>(options.max_procs))));
+    int procs = 1 << static_cast<int>(rng.uniform_int(0, log2_cap));
+    if (rng.uniform() < 0.25) {
+      procs = static_cast<int>(rng.uniform_int(1, options.max_procs));
+    }
+    job.req_procs = procs;
+    job.used_procs = procs;
+    job.req_time = std::floor(job.run_time * rng.uniform(1.0, 3.0));
+    job.wait = std::floor(rng.exponential(options.mean_gap));
+    job.user = rng.uniform_int(1, 12);
+    job.group = 1 + job.user % 3;
+    job.app = rng.uniform_int(1, 8);
+    job.queue = rng.uniform_int(0, options.queues - 1);
+    job.partition = 1;
+    job.status = 1;
+    const double pick = rng.uniform();
+    if (pick < options.frac_failed) {
+      job.status = 0;
+    } else if (pick < options.frac_failed + options.frac_cancelled) {
+      job.status = 5;
+      job.run_time = -1.0;  // cancelled before running
+      job.used_procs = -1;
+    }
+    trace.jobs.push_back(job);
+  }
+}
+
+}  // namespace moldsched

@@ -1,0 +1,201 @@
+#include "trace/tape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "workloads/speedup_models.hpp"
+
+namespace moldsched {
+
+namespace {
+
+/// A record the tape replays: completed (or status-unknown) with a
+/// positive runtime and at least one processor. Failed and cancelled
+/// records stay in the log for fidelity but never become arrivals.
+[[nodiscard]] bool usable(const SwfJob& job) noexcept {
+  if (job.status != 1 && job.status != -1) return false;
+  if (!(job.run_time > 0.0)) return false;
+  return job.req_procs >= 1 || job.used_procs >= 1;
+}
+
+[[nodiscard]] int record_procs(const SwfJob& job) noexcept {
+  return static_cast<int>(job.req_procs >= 1 ? job.req_procs
+                                             : job.used_procs);
+}
+
+}  // namespace
+
+void Tape::clear() {
+  m = 1;
+  arrivals.clear();
+  info.clear();
+  jobs_in_trace = 0;
+  jobs_skipped = 0;
+  jobs_sampled_out = 0;
+  span = 0.0;
+}
+
+double quantize_runtime(double runtime, const TimeGrid& grid, int steps) {
+  if (steps < 1) {
+    throw std::invalid_argument("quantize_runtime: steps must be >= 1");
+  }
+  if (!(runtime > 0.0)) {
+    throw std::invalid_argument("quantize_runtime: runtime must be > 0");
+  }
+  const double anchor = grid.t(0);
+  if (runtime <= anchor) return anchor;
+  // Index of the smallest sub-step boundary anchor * 2^(idx/steps) at or
+  // above the runtime. The epsilon re-maps a value already sitting on a
+  // boundary (up to log2 rounding noise) onto itself, which is what makes
+  // the mapping idempotent.
+  const double x =
+      std::log2(runtime / anchor) * static_cast<double>(steps);
+  double idx = std::ceil(x - 1e-9);
+  double q = anchor * std::exp2(idx / static_cast<double>(steps));
+  while (q < runtime) {  // floating guard: never round down
+    idx += 1.0;
+    q = anchor * std::exp2(idx / static_cast<double>(steps));
+  }
+  return q;
+}
+
+void compile_tape(const SwfTrace& trace, const TapeOptions& options,
+                  Tape& out) {
+  if (!(options.time_scale > 0.0)) {
+    throw std::invalid_argument("compile_tape: time_scale must be > 0");
+  }
+  if (options.stride < 1) {
+    throw std::invalid_argument("compile_tape: stride must be >= 1");
+  }
+  if (options.lanes < 1) {
+    throw std::invalid_argument("compile_tape: lanes must be >= 1");
+  }
+  if (options.quantize_steps < 0 || options.max_jobs < 0) {
+    throw std::invalid_argument(
+        "compile_tape: quantize_steps and max_jobs must be >= 0");
+  }
+  if (!(options.weight > 0.0)) {
+    throw std::invalid_argument("compile_tape: weight must be > 0");
+  }
+  if (options.moldable && !(options.downey_sigma >= 0.0)) {
+    throw std::invalid_argument(
+        "compile_tape: downey_sigma must be >= 0");
+  }
+  out.clear();
+  out.jobs_in_trace = static_cast<std::int64_t>(trace.jobs.size());
+
+  int m = options.m;
+  if (m == 0) {
+    const std::int64_t header = trace.max_procs >= 1
+                                    ? trace.max_procs
+                                    : trace.observed_max_procs();
+    if (header < 1) {
+      throw std::invalid_argument(
+          "compile_tape: no machine size (no MaxProcs header, no processor "
+          "counts in any record, and options.m == 0)");
+    }
+    m = static_cast<int>(std::min<std::int64_t>(
+        header, std::numeric_limits<int>::max()));
+  }
+  if (m < 1) {
+    throw std::invalid_argument("compile_tape: m must be >= 1");
+  }
+  out.m = m;
+
+  // Usable records in submit order (stable on file order for ties).
+  // Sorting, origin, and the quantization grid are all computed over the
+  // *pre-stride* usable set, so a down-sampled tape is an exact sub-tape
+  // of the full one.
+  static thread_local std::vector<std::int32_t> order;
+  order.clear();
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    if (usable(trace.jobs[i])) {
+      order.push_back(static_cast<std::int32_t>(i));
+    } else {
+      ++out.jobs_skipped;
+    }
+  }
+  if (order.empty()) {
+    throw std::invalid_argument(
+        "compile_tape: no usable record in the trace");
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return trace.jobs[static_cast<std::size_t>(a)].submit <
+                            trace.jobs[static_cast<std::size_t>(b)].submit;
+                   });
+  const double submit0 =
+      trace.jobs[static_cast<std::size_t>(order.front())].submit;
+
+  // Quantization grid over the scaled runtimes of every usable record.
+  double run_min = std::numeric_limits<double>::infinity();
+  double run_max = 0.0;
+  for (const std::int32_t i : order) {
+    const double r = trace.jobs[static_cast<std::size_t>(i)].run_time /
+                     options.time_scale;
+    run_min = std::min(run_min, r);
+    run_max = std::max(run_max, r);
+  }
+  const TimeGrid grid(run_max, run_min);
+
+  double release_floor = 0.0;
+  std::int64_t usable_seen = 0;
+  for (const std::int32_t i : order) {
+    const SwfJob& job = trace.jobs[static_cast<std::size_t>(i)];
+    const bool kept =
+        (usable_seen % options.stride) == 0 &&
+        (options.max_jobs == 0 || out.jobs_kept() < options.max_jobs);
+    ++usable_seen;
+    if (!kept) {
+      ++out.jobs_sampled_out;
+      continue;
+    }
+    double release = (job.submit - submit0) / options.time_scale;
+    // Submit order is exact, but the division can jitter equal gaps by an
+    // ulp; the stream contract requires non-decreasing releases.
+    release = std::max(release, release_floor);
+    release_floor = release;
+
+    double runtime = job.run_time / options.time_scale;
+    if (options.quantize_steps > 0) {
+      runtime = quantize_runtime(runtime, grid, options.quantize_steps);
+    }
+    const int procs = std::min(record_procs(job), m);
+
+    StreamArrival arrival;
+    double min_time = runtime;
+    if (options.moldable) {
+      // Downey curve with average parallelism equal to the request,
+      // calibrated so the requested allotment reproduces the logged
+      // runtime: seq = runtime * S(procs), time(k) = seq / S(k).
+      const double A = static_cast<double>(procs);
+      const double seq =
+          runtime * downey_speedup(A, A, options.downey_sigma);
+      MoldableTask task(downey_times(seq, m, A, options.downey_sigma),
+                        options.weight, 1);
+      task.enforce_monotonicity();
+      min_time = task.min_time();
+      arrival = moldable_arrival(std::move(task), release);
+    } else {
+      arrival = rigid_arrival(procs, runtime, options.weight, release);
+    }
+    out.arrivals.push_back(std::move(arrival));
+    TapeJobInfo info;
+    info.swf_id = job.id;
+    info.release = release;
+    info.min_time = min_time;
+    info.lane = job.queue >= 0
+                    ? static_cast<int>(job.queue %
+                                       static_cast<std::int64_t>(options.lanes))
+                    : 0;
+    info.procs = procs;
+    out.info.push_back(info);
+  }
+  out.span = out.arrivals.empty()
+                 ? 0.0
+                 : out.arrivals.back().release - out.arrivals.front().release;
+}
+
+}  // namespace moldsched

@@ -1,0 +1,118 @@
+/// \file tape.hpp
+/// Tape compiler: a parsed SWF log (trace/swf.hpp) becomes a
+/// release-ordered `StreamArrival` tape the streaming machinery replays —
+/// the bridge from real cluster logs to the paper's online framework.
+///
+/// Mapping, per usable record (status completed, positive runtime, at
+/// least one processor):
+///  * release = (submit - first usable submit) / time_scale — real
+///    inter-arrival structure, shifted to start at 0 and compressed so a
+///    multi-month log replays in seconds;
+///  * runtime = run_time / time_scale, optionally rounded UP onto a
+///    geometric grid anchored on the log's TimeGrid (quantize_steps
+///    sub-steps per doubling) — recurring runtimes collapse onto shared
+///    values, which is what makes real logs cache- and
+///    speculation-friendly;
+///  * processors = requested count (falling back to allocated), clamped
+///    to the machine; the job becomes a **rigid** arrival of exactly that
+///    shape, or — with `moldable` set — a **moldable** task whose Downey
+///    speedup curve (workloads/speedup_models.hpp) has average
+///    parallelism equal to the request and is calibrated so the requested
+///    allotment reproduces the logged runtime;
+///  * lane = queue id modulo the lane count — the per-lane axis the SLO
+///    report (trace/slo.hpp) aggregates on.
+///
+/// Down-sampling is deterministic: usable records are sorted by submit
+/// (stable in file order) and every `stride`-th one is kept, so a
+/// stride-k tape is an exact sub-tape of the stride-1 tape — same
+/// releases, same shapes (gated by tests/test_trace.cpp property tests,
+/// together with release monotonicity and quantization idempotence).
+///
+/// Operator documentation: docs/TRACES.md.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stream.hpp"
+#include "tasks/time_grid.hpp"
+#include "trace/swf.hpp"
+
+namespace moldsched {
+
+/// Compilation knobs. The defaults replay the log as-is: rigid shapes,
+/// real time, no down-sampling.
+struct TapeOptions {
+  /// Target machine size; 0 = the log's MaxProcs header, falling back to
+  /// the largest processor count any record mentions. Requests larger
+  /// than the machine are clamped to it.
+  int m = 0;
+  /// Divide every submit gap and runtime by this (> 0). Uniform scaling,
+  /// so the replayed schedule is the real one with the clock compressed.
+  double time_scale = 1.0;
+  /// Keep every stride-th usable job in submit order (>= 1).
+  int stride = 1;
+  /// Stop after this many kept jobs; 0 = unlimited.
+  int max_jobs = 0;
+  /// Compile moldable tasks (Downey curves calibrated to the log) instead
+  /// of rigid shapes.
+  bool moldable = false;
+  /// Downey curve variance-of-parallelism for moldable compilation.
+  double downey_sigma = 1.0;
+  /// Round runtimes up onto a geometric grid with this many sub-steps per
+  /// TimeGrid doubling; 0 = keep exact runtimes.
+  int quantize_steps = 0;
+  /// Weight of every compiled task (the log has no priority field).
+  double weight = 1.0;
+  /// SLO lanes; a job lands in lane (queue mod lanes), lane 0 when the
+  /// log has no queue field (>= 1).
+  int lanes = 4;
+};
+
+/// Per-arrival provenance and SLO inputs, parallel to Tape::arrivals.
+struct TapeJobInfo {
+  std::int64_t swf_id = -1;  ///< job number in the source log
+  double release = 0.0;      ///< compiled release time
+  double min_time = 0.0;     ///< fastest runtime (stretch denominator)
+  int lane = 0;              ///< SLO lane (queue mod lanes)
+  int procs = 0;             ///< compiled processor request
+};
+
+/// A compiled replay tape: release-ordered arrivals plus per-job SLO
+/// inputs and compile statistics. Buffers keep capacity across compiles.
+struct Tape {
+  int m = 1;                            ///< machine size replays run on
+  std::vector<StreamArrival> arrivals;  ///< release-ordered batch jobs
+  std::vector<TapeJobInfo> info;        ///< parallel to arrivals
+
+  std::int64_t jobs_in_trace = 0;  ///< records in the source log
+  std::int64_t jobs_skipped = 0;   ///< unusable records filtered out
+  std::int64_t jobs_sampled_out = 0;  ///< usable but dropped by stride/cap
+  double span = 0.0;               ///< last release minus first (compiled)
+
+  [[nodiscard]] std::int64_t jobs_kept() const noexcept {
+    return static_cast<std::int64_t>(arrivals.size());
+  }
+
+  /// Empty all fields; capacity kept.
+  void clear();
+};
+
+/// Round `runtime` UP onto the geometric grid anchored at `grid.t(0)`
+/// with `steps` sub-steps per doubling. Idempotent (a grid value maps to
+/// itself) and bounded: quantized/runtime is in [1, 2^(1/steps)] up to
+/// rounding. Values at or below the anchor map to the anchor. Throws
+/// std::invalid_argument on steps < 1 or a non-positive runtime.
+[[nodiscard]] double quantize_runtime(double runtime, const TimeGrid& grid,
+                                      int steps);
+
+/// Compile `trace` into `out` (cleared first; capacity kept). Throws
+/// std::invalid_argument on bad options (time_scale <= 0, stride < 1,
+/// lanes < 1, negative quantize_steps or max_jobs, non-positive weight,
+/// or no resolvable machine size) and when no usable record survives
+/// filtering.
+void compile_tape(const SwfTrace& trace, const TapeOptions& options,
+                  Tape& out);
+
+}  // namespace moldsched
